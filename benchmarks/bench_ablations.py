@@ -1,0 +1,74 @@
+"""Design-choice ablations (DESIGN.md §5): abstraction level, time-bin
+width, microcell size.
+
+Each prints its comparison table, records it for EXPERIMENTS.md, and
+asserts the directional claims.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    abstraction_ablation,
+    binning_ablation,
+    cell_size_ablation,
+)
+from repro.mining import ModifiedPrefixSpanConfig
+from repro.sequences import HOURLY
+
+_CFG = ModifiedPrefixSpanConfig(min_support=0.4)
+
+
+def test_ablation_abstraction_level(bench_pipeline, taxonomy, record_measurement):
+    rows = abstraction_ablation(bench_pipeline.dataset, taxonomy, HOURLY, _CFG)
+    print("\n--- Ablation: abstraction level ---")
+    for row in rows:
+        print(f"  {row.setting:>6}: {row.mean_sequences_per_user:7.2f} seq/user, "
+              f"avg len {row.mean_avg_length:.2f}")
+    record_measurement("ablation_abstraction", [row.as_dict() for row in rows])
+
+    by_level = {row.setting: row.mean_sequences_per_user for row in rows}
+    # The paper's core claim: abstraction reveals patterns.
+    assert by_level["root"] > by_level["venue"]
+    assert by_level["leaf"] >= by_level["venue"]
+
+
+def test_ablation_bin_width(bench_pipeline, taxonomy, record_measurement):
+    rows = binning_ablation(bench_pipeline.dataset, taxonomy,
+                            widths_hours=(1.0, 2.0, 4.0), config=_CFG)
+    print("\n--- Ablation: time-bin width ---")
+    for row in rows:
+        print(f"  {row.setting:>4}: {row.mean_sequences_per_user:7.2f} seq/user, "
+              f"avg len {row.mean_avg_length:.2f}")
+    record_measurement("ablation_bin_width", [row.as_dict() for row in rows])
+    assert all(row.mean_sequences_per_user > 0 for row in rows)
+
+
+def test_ablation_cell_size(bench_pipeline, taxonomy, record_measurement):
+    rows = cell_size_ablation(bench_pipeline.dataset, taxonomy, HOURLY,
+                              cell_sizes_m=(250.0, 500.0, 1000.0, 2000.0),
+                              config=_CFG)
+    print("\n--- Ablation: microcell size (crowd view at 9-10 am) ---")
+    for row in rows:
+        print(f"  {row.setting:>6}: {row.extra['users_placed']:.0f} users, "
+              f"{row.extra['occupied_cells']:.0f} occupied cells, "
+              f"largest group {row.extra['largest_group']:.0f}")
+    record_measurement("ablation_cell_size", [row.as_dict() for row in rows])
+
+    occupied = [row.extra["occupied_cells"] for row in rows]
+    assert occupied[0] >= occupied[-1], "coarser grid concentrates the crowd"
+    placed = {row.extra["users_placed"] for row in rows}
+    assert len(placed) == 1, "grid resolution must not change who is placed"
+
+
+def test_ablation_day_kind(bench_pipeline, taxonomy, record_measurement):
+    from repro.experiments import day_kind_ablation
+
+    rows = day_kind_ablation(bench_pipeline.dataset, taxonomy, HOURLY, _CFG)
+    print("\n--- Ablation: day-type conditioning ---")
+    for row in rows:
+        print(f"  {row.setting:>8}: {row.mean_sequences_per_user:7.2f} seq/user, "
+              f"avg len {row.mean_avg_length:.2f}")
+    record_measurement("ablation_day_kind", [row.as_dict() for row in rows])
+    by_kind = {row.setting: row.mean_sequences_per_user for row in rows}
+    # Day-type conditioning sharpens the weekday routine.
+    assert by_kind["weekday"] >= by_kind["all"]

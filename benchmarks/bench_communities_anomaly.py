@@ -1,0 +1,62 @@
+"""Timing and behaviour of the crowd extensions: communities and anomalies."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.crowd import build_similarity_graph, detect_communities, detect_spikes
+from repro.data import CityEvent, SMALL_CONFIG, SynthConfig, generate
+from repro.geo import MicrocellGrid
+
+
+def test_table_communities(bench_pipeline, record_measurement):
+    communities = detect_communities(bench_pipeline.profiles, min_similarity=0.05)
+    graph = build_similarity_graph(bench_pipeline.profiles, min_similarity=0.05)
+    print("\n--- Behavioural communities ---")
+    print(f"  {graph.number_of_nodes()} users, {graph.number_of_edges()} links, "
+          f"{len(communities)} communities")
+    for community in communities[:5]:
+        print(f"  #{community.community_id}: {community.size} users")
+    record_measurement("table_communities", {
+        "n_users": graph.number_of_nodes(),
+        "n_links": graph.number_of_edges(),
+        "sizes": [c.size for c in communities],
+    })
+    covered = sorted(uid for c in communities for uid in c.user_ids)
+    assert covered == sorted(bench_pipeline.profiles)
+
+
+def test_bench_community_detection(benchmark, bench_pipeline):
+    communities = benchmark(detect_communities, bench_pipeline.profiles, 0.05)
+    assert communities
+
+
+def test_table_event_spike_detection(record_measurement):
+    """Inject an event at small scale and measure detection sharpness."""
+    event = CityEvent(name="festival", day=date(2012, 5, 19),
+                      venue_category="Stadium", attendance_prob=0.5)
+    config = SynthConfig(**{**SMALL_CONFIG.__dict__, "events": (event,)})
+    dataset = generate(config).dataset
+    grid = MicrocellGrid(dataset.bounding_box().expand(0.01), 750.0)
+    spikes = detect_spikes(dataset, grid, z_threshold=4.0, min_count=5)
+    print("\n--- Event spike detection ---")
+    hit = next((s for s in spikes if s.day == event.day), None)
+    print(f"  {len(spikes)} spikes; injected event detected: {hit is not None}")
+    if hit:
+        print(f"  z={hit.z_score:.1f}, {hit.count} check-ins vs baseline "
+              f"{hit.baseline_mean:.1f}")
+    record_measurement("table_event_detection", {
+        "n_spikes": len(spikes),
+        "event_detected": hit is not None,
+        "z_score": round(hit.z_score, 2) if hit else None,
+    })
+    assert hit is not None
+
+
+def test_bench_spike_detection(benchmark, bench_pipeline):
+    spikes = benchmark(
+        detect_spikes, bench_pipeline.dataset, bench_pipeline.grid, 4.0
+    )
+    assert isinstance(spikes, list)

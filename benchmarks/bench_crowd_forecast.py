@@ -1,0 +1,56 @@
+"""Out-of-sample crowd-forecast quality — the crowd view's predictive claim.
+
+Profiles mined on the first ¾ of the window are scored against the held-out
+last quarter: do the (microcell, hour) pairs the city view highlights
+actually see crowd on future days?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd import evaluate_crowd_forecast
+from repro.data import ActiveUserFilter
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.sequences import HOURLY
+
+
+@pytest.fixture(scope="module")
+def forecast_world(bench_dataset):
+    lo, hi = bench_dataset.time_range()
+    cut = lo + (hi - lo) * 3 // 4
+    train = bench_dataset.filter_time(lo, cut)
+    test = bench_dataset.filter_time(cut, hi)
+    config = PipelineConfig(activity=ActiveUserFilter(min_qualifying_days=40))
+    result = run_pipeline(train, config)
+    holdout = test.filter_users(result.profiles)
+    return result, holdout
+
+
+def test_table_forecast_quality(forecast_world, record_measurement):
+    result, holdout = forecast_world
+    ev = evaluate_crowd_forecast(result.aggregator, result.dataset, holdout, HOURLY)
+    print("\n--- Crowd forecast vs held-out reality ---")
+    print(f"  {result.n_users} users, {ev.n_days} held-out days, {ev.n_cells} cells")
+    print(f"  time lift of targeted hours: {ev.time_lift:.1f}x")
+    print(f"  Spearman corr: forecast {ev.correlation:.2f} "
+          f"vs time-blind baseline {ev.baseline_correlation:.2f}")
+    print(f"  MAE: forecast {ev.mae_forecast:.3f} vs baseline {ev.mae_baseline:.3f}")
+    record_measurement("table_crowd_forecast", {
+        "n_users": result.n_users,
+        "n_days": ev.n_days,
+        "time_lift": round(ev.time_lift, 2),
+        "correlation": round(ev.correlation, 3),
+        "baseline_correlation": round(ev.baseline_correlation, 3),
+        "mae_forecast": round(ev.mae_forecast, 4),
+        "mae_baseline": round(ev.mae_baseline, 4),
+    })
+    # The predictive claim: targeted hours are denser than the cell average.
+    assert ev.time_lift > 1.5
+
+
+def test_bench_forecast_evaluation(benchmark, forecast_world):
+    result, holdout = forecast_world
+    ev = benchmark(evaluate_crowd_forecast, result.aggregator, result.dataset,
+                   holdout, HOURLY)
+    assert ev.n_days > 0

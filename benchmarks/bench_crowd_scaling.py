@@ -1,0 +1,41 @@
+"""Crowd-aggregation scaling: cost vs number of profiled users.
+
+Not a paper figure; the systems ablation behind the city-scale claim —
+aggregation must stay fast as the crowd grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crowd import CrowdAggregator
+
+
+@pytest.mark.parametrize("fraction", [0.25, 0.5, 1.0])
+def test_bench_aggregation_vs_crowd_size(benchmark, bench_pipeline, taxonomy, fraction):
+    profiles = dict(sorted(bench_pipeline.profiles.items()))
+    keep = max(1, int(len(profiles) * fraction))
+    subset = dict(list(profiles.items())[:keep])
+    aggregator = CrowdAggregator(
+        subset,
+        bench_pipeline.dataset,
+        bench_pipeline.grid,
+        taxonomy,
+        binning=bench_pipeline.config.binning,
+    )
+    timeline = benchmark.pedantic(aggregator.timeline, rounds=3, iterations=1)
+    assert len(timeline) == 24
+
+
+def test_bench_visit_index_build(benchmark, bench_pipeline, taxonomy):
+    """Index construction is the one full-dataset pass of the crowd layer."""
+    from repro.crowd import VisitIndex
+
+    index = benchmark(
+        VisitIndex,
+        bench_pipeline.dataset,
+        bench_pipeline.grid,
+        taxonomy,
+        bench_pipeline.config.binning,
+    )
+    assert index is not None

@@ -1,0 +1,54 @@
+"""Figs. 3-4: the crowd in the smart city at 9-10 am and at a later window.
+
+Regenerates the two demo views, quantifies the crowd's relocation between
+them, writes the SVGs next to the measurements, and benchmarks snapshot
+computation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.crowd import windows_for
+from repro.experiments import crowd_views
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def test_fig3_fig4_crowd_views(bench_pipeline, record_measurement):
+    OUT_DIR.mkdir(exist_ok=True)
+    views = crowd_views(bench_pipeline.timeline, hours=(9.5, 13.5))
+    print("\n--- Figs. 3-4: crowd views ---")
+    rows = views.summary_rows()
+    for i, ((label, users, cells), svg_name) in enumerate(zip(rows, ("fig3", "fig4"))):
+        print(f"  {label}: {users} users across {cells} microcells")
+        (OUT_DIR / f"{svg_name}_crowd.svg").write_text(views.svgs[i])
+    print(f"  crowd shift (Jaccard distance of occupied cells): {views.shift_scores[0]:.2f}")
+    record_measurement("fig3_fig4_crowd_views", {
+        "windows": [list(r) for r in rows],
+        "shift": list(views.shift_scores),
+    })
+
+    # Paper claims: a crowd exists at 9-10 am, and it moves when the window
+    # changes.
+    morning = views.snapshots[0]
+    assert morning.n_users > 0
+    assert views.shift_scores[0] > 0.0
+
+    # Groups: users co-located at the same kind of place.
+    groups = morning.groups(min_size=2)
+    print(f"  groups of >=2 at {morning.window.label}: "
+          f"{[(g.label, g.size) for g in groups[:5]]}")
+
+
+def test_bench_snapshot_runtime(benchmark, bench_pipeline):
+    window = windows_for(bench_pipeline.config.binning)[9]  # 9-10 am
+    snap = benchmark(bench_pipeline.aggregator.snapshot, window)
+    assert snap.window.start_bin == 9
+
+
+def test_bench_full_timeline_runtime(benchmark, bench_pipeline):
+    timeline = benchmark.pedantic(
+        bench_pipeline.aggregator.timeline, rounds=3, iterations=1
+    )
+    assert len(timeline) == 24

@@ -1,0 +1,41 @@
+"""Table-D (paper §I.1): dataset statistics and the sparsity analysis.
+
+Paper values (Foursquare NYC): 227,428 check-ins, 1,083 users, mean ≈210 /
+median ≈153 records per user, <1 record/user/day (sparse), April–June the
+densest quarter.  At full ``REPRO_BENCH_SCALE=paper`` the synthetic dataset
+is calibrated to land within a few percent of each; at bench scale the
+per-user shape holds with fewer users.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.data import dataset_stats
+
+
+def test_table_dataset_stats(bench_dataset, record_measurement):
+    stats = dataset_stats(bench_dataset)
+    rows = stats.as_rows()
+    print("\n--- Table-D: dataset statistics (paper §I.1) ---")
+    for key, value in rows:
+        print(f"  {key:>24}: {value}")
+    record_measurement("table_dataset_stats", [list(r) for r in rows])
+
+    # The paper's qualitative findings must hold at every scale.
+    assert stats.is_sparse, "GTSM data must be sparse (<1 record/user/day)"
+    assert stats.median_records_per_user <= stats.mean_records_per_user
+    assert stats.densest_months(3) == ["2012-04", "2012-05", "2012-06"]
+
+    if os.environ.get("REPRO_BENCH_SCALE") == "paper":
+        # Calibration against the paper's absolute numbers.
+        assert abs(stats.n_checkins - 227_428) / 227_428 < 0.10
+        assert stats.n_users == 1083
+        assert abs(stats.mean_records_per_user - 210) / 210 < 0.10
+        assert abs(stats.median_records_per_user - 153) / 153 < 0.10
+
+
+def test_bench_dataset_stats_runtime(benchmark, bench_dataset):
+    """How fast the statistics pass itself is."""
+    stats = benchmark(dataset_stats, bench_dataset)
+    assert stats.n_checkins == len(bench_dataset)

@@ -1,0 +1,43 @@
+"""Fig. 5: average number of sequences per user vs minimum support.
+
+Paper shape: monotonically decreasing; the 0.25→0.5 drop is significant
+while the 0.5→0.75 decline is less pronounced.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import fig5_chart
+from repro.mining import ModifiedPrefixSpanConfig, modified_prefixspan
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def test_fig5_series(bench_sweep, record_measurement):
+    xs, ys = bench_sweep.mean_sequences_series()
+    print("\n--- Fig. 5: avg sequences/user vs min_support ---")
+    for x, y in zip(xs, ys):
+        print(f"  min_support={x:<6g} avg sequences/user = {y:.2f}")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "fig5.svg").write_text(fig5_chart(bench_sweep))
+    record_measurement("fig5_sequences_vs_support",
+                       {"supports": xs, "mean_sequences_per_user": ys})
+
+    # Shape assertions (the paper's findings).
+    assert all(a >= b for a, b in zip(ys, ys[1:])), "must decrease with support"
+    drop_early = ys[0] - ys[2]   # 0.25 -> 0.5
+    drop_late = ys[2] - ys[4]    # 0.5 -> 0.75
+    assert drop_early >= drop_late, "early drop should dominate (paper Fig. 5)"
+
+
+def test_bench_mining_at_half_support(benchmark, bench_pipeline, taxonomy):
+    """Cost of one user's modified-PrefixSpan run at min_support=0.5."""
+    from repro.sequences import build_user_database
+
+    uid = max(bench_pipeline.profiles,
+              key=lambda u: bench_pipeline.profiles[u].n_days)
+    db = build_user_database(bench_pipeline.dataset, uid, taxonomy)
+    config = ModifiedPrefixSpanConfig(min_support=0.5)
+    patterns = benchmark(modified_prefixspan, db, config, taxonomy)
+    assert isinstance(patterns, list)

@@ -1,0 +1,33 @@
+"""Fig. 7: average length of sequences per user vs minimum support.
+
+Paper shape: decreasing — a longer pattern is less likely to be certified
+than a shorter one ('Eatery' appears more often than 'Eatery, Shops').
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments import fig7_chart
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def test_fig7_series(bench_sweep, record_measurement):
+    xs, ys = bench_sweep.mean_length_series()
+    print("\n--- Fig. 7: avg pattern length vs min_support ---")
+    for x, y in zip(xs, ys):
+        print(f"  min_support={x:<6g} avg length = {y:.3f}")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "fig7.svg").write_text(fig7_chart(bench_sweep))
+    record_measurement("fig7_length_vs_support",
+                       {"supports": xs, "mean_avg_length": ys})
+
+    # Decreasing overall (allowing tiny plateaus between adjacent points).
+    assert ys[0] >= ys[-1], "length must not grow with support"
+    assert ys[0] > 1.0, "low support should certify multi-item patterns"
+
+
+def test_bench_length_series(benchmark, bench_sweep):
+    xs, ys = benchmark(bench_sweep.mean_length_series)
+    assert len(xs) == len(ys)

@@ -1,0 +1,40 @@
+"""Fig. 8: distribution of the average pattern length at min_support = 0.5.
+
+Paper shape: mass concentrated at short lengths (mostly 1–2), with a tail
+of users whose routines certify longer sequences.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments import fig8_chart
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def test_fig8_distribution(bench_sweep, record_measurement):
+    lengths = bench_sweep.avg_lengths_at(0.5)
+    print("\n--- Fig. 8: avg pattern length per user at min_support=0.5 ---")
+    arr = np.array(lengths, dtype=float)
+    print(f"  users with patterns={len(lengths)} min={arr.min():.2f} "
+          f"median={np.median(arr):.2f} mean={arr.mean():.2f} max={arr.max():.2f}")
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "fig8.svg").write_text(fig8_chart(bench_sweep))
+    record_measurement("fig8_length_distribution", {
+        "lengths": lengths,
+        "median": float(np.median(arr)),
+        "mean": float(arr.mean()),
+    })
+
+    assert len(lengths) > 0
+    assert arr.min() >= 1.0, "a certified pattern has at least one item"
+    # Mass near the short end: median stays small.
+    assert np.median(arr) <= 3.0
+
+
+def test_bench_lengths_extraction(benchmark, bench_sweep):
+    lengths = benchmark(bench_sweep.avg_lengths_at, 0.5)
+    assert lengths

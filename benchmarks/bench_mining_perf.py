@@ -1,0 +1,70 @@
+"""Mining-performance benchmarks (not a paper figure; the ablation that
+justifies PrefixSpan over generate-and-test, per the PrefixSpan paper the
+authors build on).
+
+Compares classic PrefixSpan, the modified algorithm, and GSP on the same
+per-user database, and scales the modified miner across support levels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mining import (
+    MiningLimits,
+    ModifiedPrefixSpanConfig,
+    gsp,
+    modified_prefixspan,
+    prefixspan,
+)
+from repro.sequences import build_user_database
+
+
+@pytest.fixture(scope="module")
+def busiest_db(bench_pipeline, taxonomy):
+    uid = max(bench_pipeline.profiles,
+              key=lambda u: bench_pipeline.profiles[u].n_days)
+    return build_user_database(bench_pipeline.dataset, uid, taxonomy)
+
+
+def test_bench_prefixspan_classic(benchmark, busiest_db):
+    patterns = benchmark(prefixspan, busiest_db, 0.25)
+    assert patterns
+
+
+def test_bench_gsp_baseline(benchmark, busiest_db):
+    patterns = benchmark(gsp, busiest_db, 0.25)
+    assert patterns
+
+
+def test_bench_modified_prefixspan(benchmark, busiest_db, taxonomy):
+    config = ModifiedPrefixSpanConfig(min_support=0.25)
+    patterns = benchmark(modified_prefixspan, busiest_db, config, taxonomy)
+    assert patterns
+
+
+def test_bench_modified_with_ancestors(benchmark, bench_pipeline, taxonomy):
+    """Flexible-label mining at LEAF level (the heavier configuration)."""
+    from repro.taxonomy import AbstractionLevel
+
+    uid = max(bench_pipeline.profiles,
+              key=lambda u: bench_pipeline.profiles[u].n_days)
+    db = build_user_database(bench_pipeline.dataset, uid, taxonomy,
+                             AbstractionLevel.LEAF)
+    config = ModifiedPrefixSpanConfig(min_support=0.4, include_ancestor_labels=True,
+                                      limits=MiningLimits(max_length=3))
+    patterns = benchmark(modified_prefixspan, db, config, taxonomy)
+    assert isinstance(patterns, list)
+
+
+@pytest.mark.parametrize("support", [0.25, 0.5, 0.75])
+def test_bench_modified_support_scaling(benchmark, busiest_db, taxonomy, support):
+    config = ModifiedPrefixSpanConfig(min_support=support)
+    benchmark(modified_prefixspan, busiest_db, config, taxonomy)
+
+
+def test_prefixspan_agrees_with_gsp(busiest_db):
+    """Sanity: the two baselines mine the same pattern set here too."""
+    a = {(p.items, p.count) for p in prefixspan(busiest_db, 0.5)}
+    b = {(p.items, p.count) for p in gsp(busiest_db, 0.5)}
+    assert a == b

@@ -1,0 +1,42 @@
+"""Fig. 2: the three-phase framework, end to end.
+
+Regenerates the preprocessing funnel (input → densest window → active
+users) and benchmarks the full pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline import run_pipeline
+
+
+def test_fig2_preprocess_funnel(bench_pipeline, record_measurement):
+    report = bench_pipeline.report
+    assert report is not None
+    rows = report.as_rows()
+    print("\n--- Fig. 2: preprocessing funnel ---")
+    for key, value in rows:
+        print(f"  {key:>22}: {value}")
+    record_measurement("fig2_preprocess", [list(r) for r in rows])
+
+    # The funnel must actually narrow.
+    assert report.window_checkins <= report.input_checkins
+    assert report.output_checkins <= report.window_checkins
+    assert report.active_users <= report.window_users
+    assert report.active_users > 0, "the activity filter should keep a crowd"
+
+
+def test_bench_pipeline_runtime(benchmark, bench_pipeline, taxonomy):
+    """End-to-end pipeline cost on the already-filtered dataset.
+
+    Uses ``skip_preprocess`` so the benchmark isolates mining + aggregation
+    (the two phases the platform re-runs when parameters change).
+    """
+    from repro.pipeline import PipelineConfig
+
+    filtered = bench_pipeline.dataset
+    config = PipelineConfig(skip_preprocess=True)
+
+    result = benchmark.pedantic(
+        run_pipeline, args=(filtered, config, taxonomy), rounds=3, iterations=1
+    )
+    assert result.n_users == bench_pipeline.n_users

@@ -1,0 +1,81 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run, by default, on a mid-sized synthetic city (300 users, the
+full 11-month span) so the whole suite finishes in a couple of minutes.
+Set ``REPRO_BENCH_SCALE=paper`` to run at the paper's full 1,083-user scale,
+or ``REPRO_BENCH_SCALE=small`` for a quick smoke run.
+
+Every figure bench appends its measured rows to
+``benchmarks/out/measured.json`` so EXPERIMENTS.md can be refreshed from a
+single artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data import SMALL_CONFIG, SynthConfig, generate
+from repro.experiments import run_support_sweep, small_pipeline_config
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.taxonomy import build_default_taxonomy
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Mid-scale: full time span, fewer users — same shapes, minutes not hours.
+BENCH_CONFIG = SynthConfig(n_users=300, n_venues=2500, seed=20230701)
+
+
+def _scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def taxonomy():
+    return build_default_taxonomy()
+
+
+@pytest.fixture(scope="session")
+def bench_generation():
+    scale = _scale()
+    if scale == "paper":
+        config = SynthConfig()
+    elif scale == "small":
+        config = SMALL_CONFIG
+    else:
+        config = BENCH_CONFIG
+    return generate(config)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_generation):
+    return bench_generation.dataset
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline(bench_dataset, taxonomy):
+    config = (small_pipeline_config() if _scale() == "small" else PipelineConfig())
+    return run_pipeline(bench_dataset, config, taxonomy)
+
+
+@pytest.fixture(scope="session")
+def bench_sweep(bench_pipeline, taxonomy):
+    """The Figs. 5-8 support sweep, computed once per session."""
+    return run_support_sweep(bench_pipeline.dataset, taxonomy)
+
+
+@pytest.fixture(scope="session")
+def record_measurement():
+    """Append a named measurement to benchmarks/out/measured.json."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / "measured.json"
+    store = json.loads(path.read_text()) if path.exists() else {}
+
+    def record(name: str, payload) -> None:
+        store[name] = payload
+        path.write_text(json.dumps(store, indent=1, sort_keys=True))
+
+    return record

@@ -1,0 +1,71 @@
+"""The city-scale crowd dashboard — the CrowdWeb demo itself.
+
+Prepares the pipeline, then either serves the interactive platform
+(``--serve``) or exercises its API headlessly and writes the crowd views
+for three time windows to disk.
+
+Run:
+    python examples/crowd_dashboard.py            # headless, writes HTML
+    python examples/crowd_dashboard.py --serve    # interactive server
+"""
+
+import argparse
+import json
+import sys
+
+from repro import small_dataset, run_pipeline, small_pipeline_config
+from repro.crowd import timeline_flows
+from repro.viz import HtmlReport, label_color_order, render_snapshot
+from repro.web import CrowdWebAPI, CrowdWebServer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve", action="store_true", help="run the web platform")
+    parser.add_argument("--port", type=int, default=8460)
+    args = parser.parse_args(argv)
+
+    dataset = small_dataset()
+    print(f"preparing pipeline on {dataset} ...")
+    result = run_pipeline(dataset, small_pipeline_config())
+    print(f"{result.n_users} users profiled")
+
+    if args.serve:
+        server = CrowdWebServer(result, port=args.port)
+        print(f"CrowdWeb at {server.url} — ctrl-c to stop")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            server.stop()
+        return 0
+
+    # Headless: drive the same API the web frontend uses.
+    api = CrowdWebAPI(result)
+    summary = api.crowd_summary()
+    busiest = max(summary["windows"], key=lambda w: w["n_users"])
+    print(f"\nbusiest window: {busiest['label']} with {busiest['n_users']} users")
+    snapshot_payload = api.crowd(busiest["index"])
+    print(f"groups there: {json.dumps(snapshot_payload['groups'], indent=1)[:400]}")
+
+    # Crowd movement between consecutive windows.
+    moves = [f for flows in timeline_flows(result.timeline) for f in flows]
+    print(f"\n{len(moves)} inter-cell flows across the day")
+    for flow in moves[:5]:
+        print(f"  {flow.from_window} -> {flow.to_window}: "
+              f"{flow.size} user(s) {flow.origin} -> {flow.destination}")
+
+    # Write a static three-window dashboard.
+    order = label_color_order(list(result.timeline))
+    report = HtmlReport("CrowdWeb — static dashboard",
+                        subtitle=f"{result.n_users} users, {dataset.name}")
+    for hour in (9.5, 13.5, 20.5):
+        snap = result.timeline.at_hour(hour)
+        report.add_heading(f"Window {snap.window.label} ({snap.n_users} users)")
+        report.add_svg(render_snapshot(snap, label_order=order))
+    out = report.save("crowd_dashboard.html")
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Crowd-anomaly detection: finding an injected city event.
+
+Simulates the city twice — once quiet, once with a stadium derby injected —
+and shows the crowd-management workflow the paper motivates: per-microcell
+daily occupancy baselines flag the (day, cell) where the crowd spiked, and
+the flagged venue/date match the injected ground truth.
+
+Run:
+    python examples/event_detection.py
+"""
+
+from datetime import date
+
+from repro.crowd import detect_spikes
+from repro.data import CityEvent, SMALL_CONFIG, SynthConfig, generate
+from repro.geo import MicrocellGrid
+
+EVENT = CityEvent(
+    name="stadium derby",
+    day=date(2012, 5, 12),
+    venue_category="Stadium",
+    start_hour=19.5,
+    attendance_prob=0.6,
+)
+
+config = SynthConfig(**{**SMALL_CONFIG.__dict__, "events": (EVENT,)})
+generation = generate(config)
+dataset = generation.dataset
+print(f"simulated {dataset} with one injected event: "
+      f"{EVENT.name} on {EVENT.day}")
+
+grid = MicrocellGrid(dataset.bounding_box().expand(0.01), 750.0)
+spikes = detect_spikes(dataset, grid, z_threshold=4.0, min_count=5)
+print(f"\n{len(spikes)} anomalous (day, cell) observations:")
+for spike in spikes[:8]:
+    cell = grid.cell(spike.cell)
+    print(f"  {spike.day} cell {cell.cell_id}: {spike.count} check-ins "
+          f"({spike.n_users} users) vs baseline {spike.baseline_mean:.1f}"
+          f"±{spike.baseline_std:.1f} — z={spike.z_score:.1f}")
+
+if spikes and spikes[0].day == EVENT.day:
+    top = spikes[0]
+    # Which venue inside the flagged cell drew the crowd?
+    in_cell = [
+        c for c in dataset
+        if c.local_date == top.day
+        and grid.cell_index_clamped(c.lat, c.lon) == top.cell
+    ]
+    from collections import Counter
+    venue_id, hits = Counter(c.venue_id for c in in_cell).most_common(1)[0]
+    venue = dataset.venues[venue_id]
+    print(f"\nstrongest spike is the injected event: {venue.name} "
+          f"({venue.category_name}) drew {hits} check-ins on {top.day} ✓")
+else:
+    print("\nno spike matched the injected event — tune thresholds")

@@ -1,0 +1,67 @@
+"""CrowdWeb reproduction: crowd mobility patterns in smart cities.
+
+A full reimplementation of *CrowdWeb: A Visualization Tool for Mobility
+Patterns in Smart Cities* (Zheng et al., ICDCS 2023): a synthetic
+Foursquare-like data substrate, flexible mobility-pattern mining (modified
+PrefixSpan), crowd synchronization/aggregation over a microcell grid, and a
+dependency-free visualization platform.
+
+Quickstart::
+
+    from repro import small_dataset, run_pipeline, small_pipeline_config
+
+    dataset = small_dataset()
+    result = run_pipeline(dataset, small_pipeline_config())
+    snapshot = result.timeline.at_hour(9.5)
+    print(snapshot.n_users, "users in the city at 9-10 am")
+"""
+
+from .analysis import max_predictability, user_mobility_metrics
+from .data import (
+    CheckIn,
+    CheckInDataset,
+    SMALL_CONFIG,
+    SynthConfig,
+    Venue,
+    dataset_stats,
+    load_dataset,
+    save_dataset,
+    small_dataset,
+    synthetic_dataset,
+)
+from .experiments import run_all, small_pipeline_config
+from .mining import ModifiedPrefixSpanConfig, modified_prefixspan, prefixspan
+from .patterns import detect_all_patterns, detect_user_patterns, summarize_profile
+from .pipeline import PipelineConfig, PipelineResult, run_pipeline
+from .taxonomy import AbstractionLevel, build_default_taxonomy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractionLevel",
+    "CheckIn",
+    "CheckInDataset",
+    "ModifiedPrefixSpanConfig",
+    "PipelineConfig",
+    "PipelineResult",
+    "SMALL_CONFIG",
+    "SynthConfig",
+    "Venue",
+    "__version__",
+    "build_default_taxonomy",
+    "dataset_stats",
+    "detect_all_patterns",
+    "detect_user_patterns",
+    "load_dataset",
+    "max_predictability",
+    "modified_prefixspan",
+    "prefixspan",
+    "run_all",
+    "run_pipeline",
+    "save_dataset",
+    "small_dataset",
+    "small_pipeline_config",
+    "summarize_profile",
+    "synthetic_dataset",
+    "user_mobility_metrics",
+]

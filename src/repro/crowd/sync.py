@@ -1,0 +1,165 @@
+"""Crowd synchronization: from per-user patterns to who-is-where-when.
+
+Phase 3, step 1 of the framework.  A mined pattern item says *"this user is
+at an Eatery around noon"* — a category, not a location.  To place the user
+in the city, we ground each pattern item in the user's own history: the
+venues they actually visited with that label near that time bin vote for a
+microcell, and the modal cell (and venue) becomes the user's expected
+location for that bin.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..data.records import CheckInDataset
+from ..geo import CellIndex, MicrocellGrid
+from ..patterns import UserPatternProfile
+from ..sequences import TimeBinning, HOURLY
+from ..taxonomy import CategoryTree, UnknownCategoryError
+
+__all__ = ["UserPlacement", "VisitIndex", "place_user", "place_user_at_bins"]
+
+
+@dataclass(frozen=True)
+class UserPlacement:
+    """One user's expected presence at one time bin."""
+
+    user_id: str
+    bin: int
+    label: str
+    support: float
+    cell: CellIndex
+    venue_id: Optional[str]
+    lat: float
+    lon: float
+    n_evidence: int  # historical check-ins backing this placement
+
+
+class VisitIndex:
+    """Per-user historical visit evidence, indexed for placement queries.
+
+    Every check-in is stored as (bin, label-name-set, cell, venue, lat/lon)
+    where the label set contains the venue's leaf category plus all its
+    taxonomy ancestors — so a pattern item at any abstraction level can find
+    its supporting visits with one set lookup.
+    """
+
+    def __init__(
+        self,
+        dataset: CheckInDataset,
+        grid: MicrocellGrid,
+        taxonomy: CategoryTree,
+        binning: TimeBinning = HOURLY,
+    ) -> None:
+        self.grid = grid
+        self.binning = binning
+        self._records: Dict[str, List[Tuple[int, FrozenSet[str], CellIndex, str, float, float]]] = {}
+        label_cache: Dict[str, FrozenSet[str]] = {}
+        for record in dataset:
+            names = label_cache.get(record.category_name)
+            if names is None:
+                names = self._label_names(taxonomy, record.category_id, record.category_name)
+                label_cache[record.category_name] = names
+            entry = (
+                binning.bin_of(record.local_time),
+                names,
+                grid.cell_index_clamped(record.lat, record.lon),
+                record.venue_id,
+                record.lat,
+                record.lon,
+            )
+            self._records.setdefault(record.user_id, []).append(entry)
+
+    @staticmethod
+    def _label_names(
+        taxonomy: CategoryTree, category_id: str, category_name: str
+    ) -> FrozenSet[str]:
+        names = {category_name}
+        try:
+            node = taxonomy.resolve(category_id or category_name)
+            names.add(node.name)
+            names.update(a.name for a in taxonomy.ancestors(node.category_id))
+        except UnknownCategoryError:
+            pass
+        return frozenset(names)
+
+    def evidence(
+        self, user_id: str, bin_index: int, label: str, tolerance: int = 0
+    ) -> List[Tuple[CellIndex, str, float, float]]:
+        """Historical visits matching (bin ± tolerance, label) for a user."""
+        n_bins = self.binning.n_bins
+        hits = []
+        for rec_bin, names, cell, venue_id, lat, lon in self._records.get(user_id, ()):
+            d = abs(rec_bin - bin_index)
+            if min(d, n_bins - d) > tolerance:
+                continue
+            if label in names:
+                hits.append((cell, venue_id, lat, lon))
+        return hits
+
+
+def place_user(
+    profile: UserPatternProfile,
+    index: VisitIndex,
+    bin_index: int,
+    pattern_tolerance: int = 0,
+    evidence_tolerance: int = 1,
+    min_support: float = 0.0,
+) -> Optional[UserPlacement]:
+    """Ground a user's routine at one time bin, or ``None`` when their
+    patterns say nothing about that bin.
+
+    ``pattern_tolerance`` widens which pattern items count as active at the
+    bin; ``evidence_tolerance`` widens which historical visits ground them.
+    When several pattern items are active, the strongest-supported one wins;
+    ties break toward more historical evidence.
+    """
+    best: Optional[UserPlacement] = None
+    best_key: Tuple[float, int] = (-1.0, -1)
+    for item, pattern in profile.items_at_bin(bin_index, pattern_tolerance):
+        if pattern.support < min_support:
+            continue
+        evidence = index.evidence(profile.user_id, item.bin, item.label, evidence_tolerance)
+        if not evidence:
+            continue
+        cell_votes = Counter(cell for cell, _, _, _ in evidence)
+        cell, _ = cell_votes.most_common(1)[0]
+        in_cell = [e for e in evidence if e[0] == cell]
+        venue_votes = Counter(venue for _, venue, _, _ in in_cell)
+        venue_id, _ = venue_votes.most_common(1)[0]
+        sample = next(e for e in in_cell if e[1] == venue_id)
+        key = (pattern.support, len(evidence))
+        if key > best_key:
+            best_key = key
+            best = UserPlacement(
+                user_id=profile.user_id,
+                bin=bin_index,
+                label=item.label,
+                support=pattern.support,
+                cell=cell,
+                venue_id=venue_id,
+                lat=sample[2],
+                lon=sample[3],
+                n_evidence=len(evidence),
+            )
+    return best
+
+
+def place_user_at_bins(
+    profile: UserPatternProfile,
+    index: VisitIndex,
+    bins: Sequence[int],
+    pattern_tolerance: int = 0,
+    evidence_tolerance: int = 1,
+    min_support: float = 0.0,
+) -> Dict[int, UserPlacement]:
+    """Placements for every bin where the user's routine says something."""
+    out: Dict[int, UserPlacement] = {}
+    for b in bins:
+        placement = place_user(profile, index, b, pattern_tolerance, evidence_tolerance, min_support)
+        if placement is not None:
+            out[b] = placement
+    return out

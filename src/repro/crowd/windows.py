@@ -1,0 +1,90 @@
+"""Time windows for the city-scale crowd view.
+
+The crowd view steps through windows like "9–10 am" (Figs. 3–4).  Windows
+are just labeled spans of time bins; :func:`rescale` implements the paper's
+future-work feature of letting the operator scale the time frame (e.g. from
+hourly to 3-hour windows) without re-mining anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..sequences import TimeBinning
+
+__all__ = ["TimeWindow", "windows_for", "rescale"]
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A half-open span of time bins ``[start_bin, end_bin)`` of a binning."""
+
+    start_bin: int
+    end_bin: int
+    binning: TimeBinning
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start_bin < self.end_bin <= self.binning.n_bins):
+            raise ValueError(
+                f"window bins [{self.start_bin}, {self.end_bin}) out of range "
+                f"for {self.binning.n_bins} bins"
+            )
+
+    @property
+    def bins(self) -> range:
+        return range(self.start_bin, self.end_bin)
+
+    @property
+    def start_hour(self) -> float:
+        return self.binning.bounds(self.start_bin)[0]
+
+    @property
+    def end_hour(self) -> float:
+        return self.binning.bounds(self.end_bin - 1)[1]
+
+    @property
+    def label(self) -> str:
+        """Label like ``"09:00-10:00"``."""
+        return f"{TimeBinning._fmt(self.start_hour)}-{TimeBinning._fmt(self.end_hour)}"
+
+    def contains_bin(self, bin_index: int) -> bool:
+        return self.start_bin <= bin_index < self.end_bin
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.bins)
+
+
+def windows_for(binning: TimeBinning, bins_per_window: int = 1) -> List[TimeWindow]:
+    """Tile the day into consecutive windows of ``bins_per_window`` bins.
+
+    The day must tile evenly (e.g. 24 hourly bins into 1/2/3/4/6/8/12-bin
+    windows).
+    """
+    if bins_per_window < 1:
+        raise ValueError("bins_per_window must be >= 1")
+    if binning.n_bins % bins_per_window != 0:
+        raise ValueError(
+            f"{bins_per_window} bins per window does not tile {binning.n_bins} bins"
+        )
+    return [
+        TimeWindow(start, start + bins_per_window, binning)
+        for start in range(0, binning.n_bins, bins_per_window)
+    ]
+
+
+def rescale(windows: Sequence[TimeWindow], factor: int) -> List[TimeWindow]:
+    """Merge consecutive windows ``factor`` at a time (the time-frame scaling
+    feature).  ``len(windows)`` must be divisible by ``factor``."""
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    if len(windows) % factor != 0:
+        raise ValueError(f"cannot merge {len(windows)} windows in groups of {factor}")
+    merged = []
+    for i in range(0, len(windows), factor):
+        group = windows[i:i + factor]
+        first, last = group[0], group[-1]
+        if any(a.end_bin != b.start_bin for a, b in zip(group, group[1:])):
+            raise ValueError("windows must be consecutive to merge")
+        merged.append(TimeWindow(first.start_bin, last.end_bin, first.binning))
+    return merged

@@ -1,0 +1,76 @@
+"""Dataset substrate: records, I/O, statistics, preprocessing, synthesis."""
+
+from .io import (
+    load_dataset,
+    read_csv,
+    read_foursquare_tsv,
+    read_jsonl,
+    save_dataset,
+    write_csv,
+    write_foursquare_tsv,
+    write_jsonl,
+)
+from .preprocess import (
+    ActiveUserFilter,
+    PreprocessReport,
+    densest_window,
+    filter_active_users,
+    preprocess,
+    select_densest_window,
+)
+from .quality import QualityIssue, QualityReport, Severity, audit_dataset
+from .records import CheckIn, CheckInDataset, Venue
+from .stats import (
+    DatasetStats,
+    active_days_per_user,
+    dataset_stats,
+    monthly_counts,
+    records_per_user_histogram,
+)
+from .synth import (
+    PAPER_CONFIG,
+    SMALL_CONFIG,
+    CityEvent,
+    GenerationResult,
+    SynthConfig,
+    generate,
+    small_dataset,
+    synthetic_dataset,
+)
+
+__all__ = [
+    "ActiveUserFilter",
+    "CheckIn",
+    "CityEvent",
+    "CheckInDataset",
+    "DatasetStats",
+    "GenerationResult",
+    "PAPER_CONFIG",
+    "PreprocessReport",
+    "QualityIssue",
+    "QualityReport",
+    "SMALL_CONFIG",
+    "Severity",
+    "SynthConfig",
+    "Venue",
+    "active_days_per_user",
+    "audit_dataset",
+    "dataset_stats",
+    "densest_window",
+    "filter_active_users",
+    "generate",
+    "load_dataset",
+    "monthly_counts",
+    "preprocess",
+    "read_csv",
+    "read_foursquare_tsv",
+    "read_jsonl",
+    "records_per_user_histogram",
+    "save_dataset",
+    "select_densest_window",
+    "small_dataset",
+    "synthetic_dataset",
+    "write_csv",
+    "write_foursquare_tsv",
+    "write_jsonl",
+]

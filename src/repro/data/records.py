@@ -1,0 +1,238 @@
+"""Check-in record model and the in-memory dataset container.
+
+The dataset mirrors the Foursquare NYC dump the paper uses: each record is a
+(user, venue, category, location, timestamp) check-in.  ``CheckInDataset``
+keeps records sorted by ``(user_id, timestamp)`` and indexes them per user,
+which is the access pattern of every downstream stage (sessionization,
+mining, crowd aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from datetime import datetime, timedelta, timezone
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geo import BoundingBox, GeoPoint
+
+__all__ = ["Venue", "CheckIn", "CheckInDataset"]
+
+
+@dataclass(frozen=True)
+class Venue:
+    """A point of interest users check in at."""
+
+    venue_id: str
+    name: str
+    category_id: str
+    category_name: str
+    location: GeoPoint
+
+    @property
+    def lat(self) -> float:
+        return self.location.lat
+
+    @property
+    def lon(self) -> float:
+        return self.location.lon
+
+
+@dataclass(frozen=True, order=True)
+class CheckIn:
+    """One geotagged check-in.
+
+    ``timestamp`` is timezone-aware UTC; ``tz_offset_min`` is the venue's
+    local-time offset (the Foursquare dump carries both, and local time is
+    what daily sessionization and time-binning must use).
+    Ordering is ``(user_id, timestamp, venue_id)`` so sorting a record list
+    yields per-user chronological runs.
+    """
+
+    user_id: str
+    timestamp: datetime
+    venue_id: str = field(compare=True)
+    category_id: str = field(compare=False, default="")
+    category_name: str = field(compare=False, default="")
+    lat: float = field(compare=False, default=0.0)
+    lon: float = field(compare=False, default=0.0)
+    tz_offset_min: int = field(compare=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.timestamp.tzinfo is None:
+            raise ValueError("check-in timestamps must be timezone-aware (UTC)")
+
+    @property
+    def location(self) -> GeoPoint:
+        return GeoPoint(self.lat, self.lon)
+
+    @property
+    def local_time(self) -> datetime:
+        """Timestamp shifted into the venue's local timezone."""
+        return self.timestamp.astimezone(timezone(timedelta(minutes=self.tz_offset_min)))
+
+    @property
+    def local_date(self):
+        return self.local_time.date()
+
+    @property
+    def local_hour(self) -> float:
+        lt = self.local_time
+        return lt.hour + lt.minute / 60.0 + lt.second / 3600.0
+
+
+class CheckInDataset:
+    """An immutable-after-construction collection of check-ins plus venues.
+
+    All filter methods return new datasets; the underlying record tuples are
+    shared, so filtering is cheap.
+    """
+
+    def __init__(
+        self,
+        checkins: Iterable[CheckIn],
+        venues: Optional[Dict[str, Venue]] = None,
+        name: str = "dataset",
+    ) -> None:
+        self.name = name
+        self._checkins: Tuple[CheckIn, ...] = tuple(sorted(checkins))
+        self.venues: Dict[str, Venue] = dict(venues or {})
+        self._by_user: Dict[str, Tuple[int, int]] = {}
+        start = 0
+        for i, record in enumerate(self._checkins):
+            if i == 0:
+                continue
+            if record.user_id != self._checkins[i - 1].user_id:
+                self._by_user[self._checkins[i - 1].user_id] = (start, i)
+                start = i
+        if self._checkins:
+            self._by_user[self._checkins[-1].user_id] = (start, len(self._checkins))
+
+    # ------------------------------------------------------------ accessors
+
+    def __len__(self) -> int:
+        return len(self._checkins)
+
+    def __iter__(self) -> Iterator[CheckIn]:
+        return iter(self._checkins)
+
+    def __getitem__(self, i: int) -> CheckIn:
+        return self._checkins[i]
+
+    @property
+    def records(self) -> Tuple[CheckIn, ...]:
+        return self._checkins
+
+    def user_ids(self) -> List[str]:
+        """All user ids, sorted."""
+        return sorted(self._by_user)
+
+    @property
+    def n_users(self) -> int:
+        return len(self._by_user)
+
+    def for_user(self, user_id: str) -> Tuple[CheckIn, ...]:
+        """A user's check-ins in chronological order (empty if unknown)."""
+        span = self._by_user.get(user_id)
+        if span is None:
+            return ()
+        return self._checkins[span[0]:span[1]]
+
+    def records_per_user(self) -> Dict[str, int]:
+        return {uid: hi - lo for uid, (lo, hi) in self._by_user.items()}
+
+    def time_range(self) -> Tuple[datetime, datetime]:
+        """(earliest, latest) UTC timestamps; raises on an empty dataset."""
+        if not self._checkins:
+            raise ValueError("empty dataset has no time range")
+        times = [c.timestamp for c in self._checkins]
+        return min(times), max(times)
+
+    def bounding_box(self) -> BoundingBox:
+        """Tightest box over all check-in coordinates."""
+        if not self._checkins:
+            raise ValueError("empty dataset has no bounding box")
+        return BoundingBox.from_points(c.location for c in self._checkins)
+
+    def category_names(self) -> List[str]:
+        return sorted({c.category_name for c in self._checkins})
+
+    def venue_for(self, checkin: CheckIn) -> Optional[Venue]:
+        return self.venues.get(checkin.venue_id)
+
+    # --------------------------------------------------------- numpy columns
+
+    def lat_array(self) -> np.ndarray:
+        return np.array([c.lat for c in self._checkins], dtype=float)
+
+    def lon_array(self) -> np.ndarray:
+        return np.array([c.lon for c in self._checkins], dtype=float)
+
+    def epoch_array(self) -> np.ndarray:
+        """UTC timestamps as float seconds since the epoch."""
+        return np.array([c.timestamp.timestamp() for c in self._checkins], dtype=float)
+
+    # -------------------------------------------------------------- filters
+
+    def _derive(self, checkins: Iterable[CheckIn], suffix: str) -> "CheckInDataset":
+        kept = list(checkins)
+        venue_ids: Set[str] = {c.venue_id for c in kept}
+        venues = {vid: v for vid, v in self.venues.items() if vid in venue_ids}
+        return CheckInDataset(kept, venues, name=f"{self.name}/{suffix}")
+
+    def filter_time(self, start: datetime, end: datetime) -> "CheckInDataset":
+        """Records with ``start <= timestamp < end`` (UTC comparison)."""
+        if start.tzinfo is None or end.tzinfo is None:
+            raise ValueError("filter bounds must be timezone-aware")
+        return self._derive(
+            (c for c in self._checkins if start <= c.timestamp < end),
+            f"time[{start.date()}..{end.date()})",
+        )
+
+    def filter_users(self, user_ids: Iterable[str]) -> "CheckInDataset":
+        wanted = set(user_ids)
+        return self._derive(
+            (c for c in self._checkins if c.user_id in wanted),
+            f"users[{len(wanted)}]",
+        )
+
+    def filter_bbox(self, bbox: BoundingBox) -> "CheckInDataset":
+        return self._derive(
+            (c for c in self._checkins if bbox.contains_lat_lon(c.lat, c.lon)),
+            "bbox",
+        )
+
+    def filter_categories(self, category_names: Iterable[str]) -> "CheckInDataset":
+        wanted = {n.strip().lower() for n in category_names}
+        return self._derive(
+            (c for c in self._checkins if c.category_name.strip().lower() in wanted),
+            "categories",
+        )
+
+    def filter(self, predicate: Callable[[CheckIn], bool], suffix: str = "custom") -> "CheckInDataset":
+        return self._derive((c for c in self._checkins if predicate(c)), suffix)
+
+    def with_name(self, name: str) -> "CheckInDataset":
+        out = CheckInDataset.__new__(CheckInDataset)
+        out.name = name
+        out._checkins = self._checkins
+        out.venues = self.venues
+        out._by_user = self._by_user
+        return out
+
+    def merge(self, other: "CheckInDataset") -> "CheckInDataset":
+        """Union of two datasets (venue maps merged, other wins on conflict)."""
+        venues = dict(self.venues)
+        venues.update(other.venues)
+        return CheckInDataset(
+            list(self._checkins) + list(other._checkins),
+            venues,
+            name=f"{self.name}+{other.name}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckInDataset({self.name!r}: {len(self._checkins)} check-ins, "
+            f"{self.n_users} users, {len(self.venues)} venues)"
+        )

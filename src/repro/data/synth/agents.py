@@ -1,0 +1,244 @@
+"""Agent profiles: who lives where, works where, and what their routine is.
+
+Each simulated user gets a *routine* — an ordered list of daily stops, each
+with a local-time anchor, an occurrence probability, and a venue pool.  The
+pools realize the paper's flexibility motivation: a "lunch" stop is tied to a
+*category* (say, Thai Restaurant) and a short preference list of concrete
+venues, so the agent eats Thai every day but at a different venue each day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...geo import GeoPoint
+from ..records import Venue
+from .city import SyntheticCity
+from .config import SynthConfig
+
+__all__ = ["RoutineStop", "AgentProfile", "build_agents"]
+
+
+@dataclass(frozen=True)
+class RoutineStop:
+    """One slot of a daily routine.
+
+    ``pool_kind`` selects how the concrete venue is chosen each day:
+
+    * ``"fixed"`` — always the same venue (home, workplace);
+    * ``"leaf"`` — one of the agent's preferred venues of a leaf category
+      (the flexible "Thai Restaurant" case);
+    * ``"root"`` — one of the preferred venues under a root category
+      (maximally flexible, e.g. "some Entertainment").
+    """
+
+    slot_key: str
+    hour: float
+    prob: float
+    pool_kind: str
+    target: str  # venue_id for "fixed", category name otherwise
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.hour < 24.0):
+            raise ValueError(f"stop hour {self.hour} out of range")
+        if not (0.0 <= self.prob <= 1.0):
+            raise ValueError(f"stop probability {self.prob} out of range")
+        if self.pool_kind not in ("fixed", "leaf", "root"):
+            raise ValueError(f"unknown pool kind {self.pool_kind!r}")
+
+
+@dataclass
+class AgentProfile:
+    """A simulated user."""
+
+    user_id: str
+    persona: str
+    home: Venue
+    work: Optional[Venue]
+    checkin_prob: float
+    weekday_routine: Tuple[RoutineStop, ...]
+    weekend_routine: Tuple[RoutineStop, ...]
+    #: slot_key → ranked preferred venues for that slot's category pool.
+    preferred: Dict[str, Tuple[Venue, ...]] = field(default_factory=dict)
+
+    def routine_for(self, weekday: int) -> Tuple[RoutineStop, ...]:
+        """Weekday index 0–6 (Monday=0) → the day's routine."""
+        return self.weekend_routine if weekday >= 5 else self.weekday_routine
+
+
+def _pick(rng: np.random.Generator, seq: Sequence, k: int = 1):
+    idx = rng.choice(len(seq), size=min(k, len(seq)), replace=False)
+    picked = [seq[int(i)] for i in np.atleast_1d(idx)]
+    return picked[0] if k == 1 else picked
+
+
+_LUNCH_LEAVES = (
+    "Thai Restaurant", "Chinese Restaurant", "Japanese Restaurant",
+    "Italian Restaurant", "Mexican Restaurant", "Sandwich Place",
+    "Pizza Place", "Burger Joint", "Deli", "Fast Food Restaurant",
+)
+_EVENING_LEAVES = ("Gym", "Supermarket", "Clothing Store", "Bookstore", "Yoga Studio")
+_DINNER_ROOTS = ("Eatery", "Nightlife")
+_WEEKEND_FUN_ROOTS = ("Entertainment", "Outdoors", "Shops")
+
+
+def _worker_routines(
+    rng: np.random.Generator, home: Venue, work: Venue
+) -> Tuple[List[RoutineStop], List[RoutineStop]]:
+    lunch_leaf = str(_pick(rng, _LUNCH_LEAVES))
+    evening_leaf = str(_pick(rng, _EVENING_LEAVES))
+    dinner_root = str(_pick(rng, _DINNER_ROOTS))
+    fun_root = str(_pick(rng, _WEEKEND_FUN_ROOTS))
+    weekday = [
+        RoutineStop("home-am", 7.4 + rng.uniform(-0.4, 0.4), 0.70, "fixed", home.venue_id),
+        RoutineStop("coffee", 8.5 + rng.uniform(-0.3, 0.3), 0.55, "leaf", "Coffee Shop"),
+        RoutineStop("work-am", 9.1 + rng.uniform(-0.4, 0.4), 0.90, "fixed", work.venue_id),
+        RoutineStop("lunch", 12.6 + rng.uniform(-0.4, 0.4), 0.85, "leaf", lunch_leaf),
+        RoutineStop("work-pm", 13.9 + rng.uniform(-0.3, 0.3), 0.55, "fixed", work.venue_id),
+        RoutineStop("errand", 17.8 + rng.uniform(-0.5, 0.5), 0.40, "leaf", evening_leaf),
+        RoutineStop("dinner", 19.3 + rng.uniform(-0.5, 0.5), 0.45, "root", dinner_root),
+        RoutineStop("home-pm", 21.4 + rng.uniform(-0.6, 0.6), 0.60, "fixed", home.venue_id),
+    ]
+    weekend = [
+        RoutineStop("brunch", 11.0 + rng.uniform(-0.6, 0.6), 0.65, "root", "Eatery"),
+        RoutineStop("outing", 13.8 + rng.uniform(-0.8, 0.8), 0.60, "root", fun_root),
+        RoutineStop("shopping", 16.0 + rng.uniform(-0.8, 0.8), 0.45, "root", "Shops"),
+        RoutineStop("dinner", 19.5 + rng.uniform(-0.5, 0.5), 0.55, "root", dinner_root),
+        RoutineStop("night", 21.8 + rng.uniform(-0.6, 0.6), 0.35, "root", "Nightlife"),
+        RoutineStop("home-pm", 23.0 + rng.uniform(-0.5, 0.5), 0.50, "fixed", home.venue_id),
+    ]
+    return weekday, weekend
+
+
+def _student_routines(
+    rng: np.random.Generator, home: Venue, campus: Venue
+) -> Tuple[List[RoutineStop], List[RoutineStop]]:
+    lunch_leaf = str(_pick(rng, _LUNCH_LEAVES))
+    weekday = [
+        RoutineStop("home-am", 8.2 + rng.uniform(-0.4, 0.4), 0.55, "fixed", home.venue_id),
+        RoutineStop("class-am", 9.6 + rng.uniform(-0.5, 0.5), 0.85, "fixed", campus.venue_id),
+        RoutineStop("lunch", 12.4 + rng.uniform(-0.4, 0.4), 0.80, "leaf", lunch_leaf),
+        RoutineStop("library", 14.5 + rng.uniform(-0.5, 0.5), 0.60, "leaf", "College Library"),
+        RoutineStop("gym", 17.5 + rng.uniform(-0.6, 0.6), 0.35, "leaf", "Gym"),
+        RoutineStop("dinner", 19.0 + rng.uniform(-0.5, 0.5), 0.50, "root", "Eatery"),
+        RoutineStop("home-pm", 21.8 + rng.uniform(-0.6, 0.6), 0.55, "fixed", home.venue_id),
+    ]
+    weekend = [
+        RoutineStop("brunch", 11.4 + rng.uniform(-0.6, 0.6), 0.55, "root", "Eatery"),
+        RoutineStop("study", 14.0 + rng.uniform(-0.8, 0.8), 0.45, "leaf", "Public Library"),
+        RoutineStop("fun", 17.0 + rng.uniform(-0.8, 0.8), 0.55, "root", "Entertainment"),
+        RoutineStop("night", 21.0 + rng.uniform(-0.8, 0.8), 0.55, "root", "Nightlife"),
+        RoutineStop("home-pm", 23.2 + rng.uniform(-0.4, 0.4), 0.45, "fixed", home.venue_id),
+    ]
+    return weekday, weekend
+
+
+def _freelancer_routines(
+    rng: np.random.Generator, home: Venue
+) -> Tuple[List[RoutineStop], List[RoutineStop]]:
+    lunch_leaf = str(_pick(rng, _LUNCH_LEAVES))
+    weekday = [
+        RoutineStop("home-am", 8.8 + rng.uniform(-0.6, 0.6), 0.60, "fixed", home.venue_id),
+        RoutineStop("cafe-am", 10.0 + rng.uniform(-0.6, 0.6), 0.75, "leaf", "Coffee Shop"),
+        RoutineStop("lunch", 12.9 + rng.uniform(-0.5, 0.5), 0.70, "leaf", lunch_leaf),
+        RoutineStop("cowork", 14.3 + rng.uniform(-0.5, 0.5), 0.55, "leaf", "Coworking Space"),
+        RoutineStop("walk", 17.2 + rng.uniform(-0.8, 0.8), 0.40, "root", "Outdoors"),
+        RoutineStop("dinner", 19.6 + rng.uniform(-0.6, 0.6), 0.45, "root", "Eatery"),
+        RoutineStop("home-pm", 21.6 + rng.uniform(-0.6, 0.6), 0.55, "fixed", home.venue_id),
+    ]
+    weekend = [
+        RoutineStop("market", 10.8 + rng.uniform(-0.6, 0.6), 0.50, "leaf", "Farmers Market"),
+        RoutineStop("outing", 13.5 + rng.uniform(-0.8, 0.8), 0.55, "root", "Outdoors"),
+        RoutineStop("gallery", 16.2 + rng.uniform(-0.8, 0.8), 0.40, "root", "Entertainment"),
+        RoutineStop("dinner", 19.8 + rng.uniform(-0.6, 0.6), 0.50, "root", "Eatery"),
+        RoutineStop("home-pm", 22.6 + rng.uniform(-0.5, 0.5), 0.50, "fixed", home.venue_id),
+    ]
+    return weekday, weekend
+
+
+def _preference_pool(
+    rng: np.random.Generator,
+    city: SyntheticCity,
+    anchor: GeoPoint,
+    stop: RoutineStop,
+    k_preferred: int,
+) -> Tuple[Venue, ...]:
+    """The agent's ranked venue shortlist for one flexible slot."""
+    if stop.pool_kind == "leaf":
+        nearby = city.nearest_of_leaf(anchor, stop.target, k=max(8, k_preferred * 3))
+    else:
+        nearby = city.nearest_of_root(anchor, stop.target, k=max(10, k_preferred * 4))
+    if not nearby:
+        return ()
+    order = rng.permutation(len(nearby))
+    return tuple(nearby[int(i)] for i in order[:k_preferred])
+
+
+def build_agents(
+    city: SyntheticCity, config: SynthConfig, rng: np.random.Generator
+) -> List[AgentProfile]:
+    """Create the simulated population.
+
+    Check-in propensity is lognormal (clamped), reproducing the right-skewed
+    records-per-user distribution the paper reports.
+    """
+    homes = city.venues_of_root("Residence")
+    offices = city.venues_of_root("Work")
+    campuses = city.venues_of_leaf("University") or city.venues_of_root("Education")
+    if not homes or not offices or not campuses:
+        raise ValueError("city lacks Residence/Work/Education venues; increase n_venues")
+
+    # Casual users: lognormal propensity.  Power users: uniformly high
+    # propensity — they are the ones who survive the activity filter.
+    mu = float(np.log(config.checkin_rate_mean)) - config.checkin_rate_sigma**2 / 2.0
+    rates = np.exp(rng.normal(mu, config.checkin_rate_sigma, size=config.n_users))
+    power_mask = rng.random(config.n_users) < config.power_user_fraction
+    plo, phi = config.power_user_range
+    rates[power_mask] = rng.uniform(plo, phi, size=int(power_mask.sum()))
+    lo, hi = config.checkin_rate_clamp
+    rates = np.clip(rates, lo, hi)
+
+    agents: List[AgentProfile] = []
+    for i in range(config.n_users):
+        user_id = f"u{i:04d}"
+        home = homes[int(rng.integers(len(homes)))]
+        draw = rng.random()
+        if draw < config.worker_fraction:
+            persona = "worker"
+            work = offices[int(rng.integers(len(offices)))]
+            weekday, weekend = _worker_routines(rng, home, work)
+        elif draw < config.worker_fraction + config.student_fraction:
+            persona = "student"
+            work = campuses[int(rng.integers(len(campuses)))]
+            weekday, weekend = _student_routines(rng, home, work)
+        else:
+            persona = "freelancer"
+            work = None
+            weekday, weekend = _freelancer_routines(rng, home)
+
+        preferred: Dict[str, Tuple[Venue, ...]] = {}
+        for stop in list(weekday) + list(weekend):
+            if stop.pool_kind == "fixed" or stop.slot_key in preferred:
+                continue
+            # Lunch anchors at the workplace, everything else near home.
+            anchor = (work or home).location if stop.slot_key == "lunch" else home.location
+            pool = _preference_pool(rng, city, anchor, stop, config.preferred_venues_per_slot)
+            if pool:
+                preferred[stop.slot_key] = pool
+
+        agents.append(
+            AgentProfile(
+                user_id=user_id,
+                persona=persona,
+                home=home,
+                work=work,
+                checkin_prob=float(rates[i]),
+                weekday_routine=tuple(weekday),
+                weekend_routine=tuple(weekend),
+                preferred=preferred,
+            )
+        )
+    return agents

@@ -1,0 +1,123 @@
+"""Render the benchmark suite's measured.json into a markdown summary.
+
+``pytest benchmarks/ --benchmark-disable`` records every regenerated
+table/figure into ``benchmarks/out/measured.json``; this module turns that
+artifact into the measured-results section used to refresh EXPERIMENTS.md
+(``python -m repro.experiments.report_markdown``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = ["render_measured_markdown"]
+
+
+def _table(headers: List[str], rows: List[List[object]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(v) for v in row) + " |")
+    return lines
+
+
+def render_measured_markdown(measured: Dict) -> str:
+    """Markdown for whatever measurement families are present."""
+    out: List[str] = ["# Measured results", ""]
+
+    if "table_dataset_stats" in measured:
+        out += ["## Dataset statistics", ""]
+        out += _table(["metric", "value"], measured["table_dataset_stats"])
+        out.append("")
+
+    if "fig5_sequences_vs_support" in measured:
+        payload = measured["fig5_sequences_vs_support"]
+        out += ["## Fig. 5 — sequences/user vs min_support", ""]
+        out += _table(
+            ["min_support"] + [f"{s:g}" for s in payload["supports"]],
+            [["mean seq/user"] + [f"{y:.2f}" for y in payload["mean_sequences_per_user"]]],
+        )
+        out.append("")
+
+    if "fig7_length_vs_support" in measured:
+        payload = measured["fig7_length_vs_support"]
+        out += ["## Fig. 7 — avg pattern length vs min_support", ""]
+        out += _table(
+            ["min_support"] + [f"{s:g}" for s in payload["supports"]],
+            [["mean avg length"] + [f"{y:.2f}" for y in payload["mean_avg_length"]]],
+        )
+        out.append("")
+
+    if "fig3_fig4_crowd_views" in measured:
+        payload = measured["fig3_fig4_crowd_views"]
+        out += ["## Figs. 3–4 — crowd views", ""]
+        out += _table(["window", "users", "occupied cells"], payload["windows"])
+        shifts = ", ".join(f"{s:.2f}" for s in payload["shift"])
+        out += ["", f"Crowd shift between views (Jaccard distance): {shifts}", ""]
+
+    if "table_pattern_recovery" in measured:
+        rows = measured["table_pattern_recovery"]
+        out += ["## Ground-truth pattern recovery", ""]
+        out += _table(
+            ["min_support", "recall", "precision"],
+            [[f"{r['min_support']:g}", f"{r['mean_recall']:.1%}",
+              f"{r['mean_precision']:.1%}"] for r in rows],
+        )
+        out.append("")
+
+    if "table_prediction_accuracy" in measured:
+        out += ["## Next-place prediction accuracy", ""]
+        for level, reports in measured["table_prediction_accuracy"].items():
+            out.append(f"### {level} level")
+            out += _table(
+                ["predictor", "acc@1", "acc@3", "examples"],
+                [[name, f"{row['acc@1']:.1%}", f"{row['acc@3']:.1%}",
+                  row["n_examples"]] for name, row in reports.items()],
+            )
+            out.append("")
+
+    if "table_crowd_forecast" in measured:
+        payload = measured["table_crowd_forecast"]
+        out += ["## Out-of-sample crowd forecast", ""]
+        out += _table(["metric", "value"], [
+            ["time lift", f"{payload['time_lift']:g}x"],
+            ["Spearman (forecast)", payload["correlation"]],
+            ["Spearman (time-blind baseline)", payload["baseline_correlation"]],
+            ["MAE forecast / baseline",
+             f"{payload['mae_forecast']} / {payload['mae_baseline']}"],
+        ])
+        out.append("")
+
+    for key in sorted(measured):
+        if key.startswith("ablation_"):
+            rows = measured[key]
+            out += [f"## {key.replace('_', ' ').title()}", ""]
+            headers = sorted({column for row in rows for column in row})
+            out += _table(headers, [[row.get(h, "") for h in headers] for row in rows])
+            out.append("")
+
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--measured", type=Path,
+                        default=Path("benchmarks/out/measured.json"))
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write to a file instead of stdout")
+    args = parser.parse_args(argv)
+    measured = json.loads(Path(args.measured).read_text(encoding="utf-8"))
+    text = render_measured_markdown(measured)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Geohash encoding/decoding (base-32, standard Gustavo Niemeyer scheme).
+
+Geohashes give CrowdWeb a resolution-tunable, prefix-mergeable cell id — an
+alternative microcell addressing scheme to the regular grid, and the natural
+key for deduplicating venues scraped at slightly different coordinates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = [
+    "encode",
+    "decode",
+    "decode_bbox",
+    "neighbors",
+    "expand",
+    "precision_for_cell_size_m",
+]
+
+_BASE32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+_BASE32_INDEX = {c: i for i, c in enumerate(_BASE32)}
+
+# Approximate max cell edge (meters) per geohash precision, at the equator.
+_CELL_SIZE_M = {
+    1: 5_000_000.0,
+    2: 1_250_000.0,
+    3: 156_000.0,
+    4: 39_100.0,
+    5: 4_890.0,
+    6: 1_220.0,
+    7: 153.0,
+    8: 38.2,
+    9: 4.77,
+    10: 1.19,
+    11: 0.149,
+    12: 0.037,
+}
+
+
+def encode(lat: float, lon: float, precision: int = 7) -> str:
+    """Encode a WGS84 point to a geohash of ``precision`` characters."""
+    if not (1 <= precision <= 12):
+        raise ValueError("precision must be in [1, 12]")
+    if not (-90.0 <= lat <= 90.0 and -180.0 <= lon <= 180.0):
+        raise ValueError(f"invalid coordinates ({lat}, {lon})")
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    chars: List[str] = []
+    bit = 0
+    ch = 0
+    even = True  # even bits encode longitude
+    while len(chars) < precision:
+        if even:
+            mid = (lon_lo + lon_hi) / 2.0
+            if lon >= mid:
+                ch = (ch << 1) | 1
+                lon_lo = mid
+            else:
+                ch <<= 1
+                lon_hi = mid
+        else:
+            mid = (lat_lo + lat_hi) / 2.0
+            if lat >= mid:
+                ch = (ch << 1) | 1
+                lat_lo = mid
+            else:
+                ch <<= 1
+                lat_hi = mid
+        even = not even
+        bit += 1
+        if bit == 5:
+            chars.append(_BASE32[ch])
+            bit = 0
+            ch = 0
+    return "".join(chars)
+
+
+def decode_bbox(geohash: str) -> Tuple[float, float, float, float]:
+    """Decode a geohash into its cell bounds ``(min_lat, min_lon, max_lat, max_lon)``."""
+    if not geohash:
+        raise ValueError("empty geohash")
+    lat_lo, lat_hi = -90.0, 90.0
+    lon_lo, lon_hi = -180.0, 180.0
+    even = True
+    for c in geohash.lower():
+        try:
+            value = _BASE32_INDEX[c]
+        except KeyError:
+            raise ValueError(f"invalid geohash character {c!r} in {geohash!r}") from None
+        for shift in range(4, -1, -1):
+            bit = (value >> shift) & 1
+            if even:
+                mid = (lon_lo + lon_hi) / 2.0
+                if bit:
+                    lon_lo = mid
+                else:
+                    lon_hi = mid
+            else:
+                mid = (lat_lo + lat_hi) / 2.0
+                if bit:
+                    lat_lo = mid
+                else:
+                    lat_hi = mid
+            even = not even
+    return lat_lo, lon_lo, lat_hi, lon_hi
+
+
+def decode(geohash: str) -> Tuple[float, float]:
+    """Decode a geohash to its cell-center ``(lat, lon)``."""
+    min_lat, min_lon, max_lat, max_lon = decode_bbox(geohash)
+    return (min_lat + max_lat) / 2.0, (min_lon + max_lon) / 2.0
+
+
+def neighbors(geohash: str) -> List[str]:
+    """The up-to-8 adjacent geohash cells at the same precision.
+
+    Computed by re-encoding the centers of the neighboring cells, which
+    sidesteps the classic per-border lookup tables and handles poles/meridian
+    wrapping by clamping.
+    """
+    min_lat, min_lon, max_lat, max_lon = decode_bbox(geohash)
+    dlat = max_lat - min_lat
+    dlon = max_lon - min_lon
+    clat = (min_lat + max_lat) / 2.0
+    clon = (min_lon + max_lon) / 2.0
+    out = []
+    for dr in (-1, 0, 1):
+        for dc in (-1, 0, 1):
+            if dr == 0 and dc == 0:
+                continue
+            lat = clat + dr * dlat
+            lon = clon + dc * dlon
+            if not (-90.0 <= lat <= 90.0):
+                continue
+            if lon > 180.0:
+                lon -= 360.0
+            elif lon < -180.0:
+                lon += 360.0
+            h = encode(lat, lon, len(geohash))
+            if h != geohash and h not in out:
+                out.append(h)
+    return out
+
+
+def expand(geohash: str) -> List[str]:
+    """The cell itself plus its neighbors (the usual radius-query seed set)."""
+    return [geohash] + neighbors(geohash)
+
+
+def precision_for_cell_size_m(cell_size_m: float) -> int:
+    """Smallest precision whose cells are no larger than ``cell_size_m``."""
+    if cell_size_m <= 0:
+        raise ValueError("cell size must be positive")
+    for precision in range(1, 13):
+        if _CELL_SIZE_M[precision] <= cell_size_m:
+            return precision
+    return 12

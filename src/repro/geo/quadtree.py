@@ -1,0 +1,160 @@
+"""A point quadtree for fast spatial queries over venues and check-ins.
+
+Used by the synthetic-city generator (nearest-venue lookups) and the web API
+(viewport queries).  Stores arbitrary payloads keyed by location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .bbox import BoundingBox
+from .point import GeoPoint
+
+__all__ = ["QuadTree", "QuadTreeEntry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class QuadTreeEntry(Generic[T]):
+    point: GeoPoint
+    payload: T
+
+
+class _Node(Generic[T]):
+    __slots__ = ("bbox", "entries", "children", "capacity", "depth")
+
+    def __init__(self, bbox: BoundingBox, capacity: int, depth: int) -> None:
+        self.bbox = bbox
+        self.entries: List[QuadTreeEntry[T]] = []
+        self.children: Optional[Tuple["_Node[T]", ...]] = None
+        self.capacity = capacity
+        self.depth = depth
+
+    def insert(self, entry: QuadTreeEntry[T], max_depth: int) -> bool:
+        if not self.bbox.contains(entry.point):
+            return False
+        if self.children is None:
+            if len(self.entries) < self.capacity or self.depth >= max_depth:
+                self.entries.append(entry)
+                return True
+            self._split(max_depth)
+        assert self.children is not None
+        for child in self.children:
+            if child.insert(entry, max_depth):
+                return True
+        # Boundary points can fall between children due to floating error;
+        # keep them at this node rather than losing them.
+        self.entries.append(entry)
+        return True
+
+    def _split(self, max_depth: int) -> None:
+        self.children = tuple(
+            _Node(q, self.capacity, self.depth + 1) for q in self.bbox.quadrants()
+        )
+        staying: List[QuadTreeEntry[T]] = []
+        for entry in self.entries:
+            placed = False
+            for child in self.children:
+                if child.insert(entry, max_depth):
+                    placed = True
+                    break
+            if not placed:
+                staying.append(entry)
+        self.entries = staying
+
+    def query_bbox(self, bbox: BoundingBox, out: List[QuadTreeEntry[T]]) -> None:
+        if not self.bbox.intersects(bbox):
+            return
+        for entry in self.entries:
+            if bbox.contains(entry.point):
+                out.append(entry)
+        if self.children is not None:
+            for child in self.children:
+                child.query_bbox(bbox, out)
+
+    def iter_entries(self) -> Iterator[QuadTreeEntry[T]]:
+        yield from self.entries
+        if self.children is not None:
+            for child in self.children:
+                yield from child.iter_entries()
+
+
+class QuadTree(Generic[T]):
+    """A bounded point quadtree.
+
+    Parameters
+    ----------
+    bbox:
+        All inserted points must fall inside this box.
+    capacity:
+        Max entries per leaf before splitting.
+    max_depth:
+        Depth cap; beyond it leaves grow unboundedly (protects against
+        pathological duplicate-point insertions).
+    """
+
+    def __init__(self, bbox: BoundingBox, capacity: int = 16, max_depth: int = 12) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self._root: _Node[T] = _Node(bbox, capacity, 0)
+        self._max_depth = max_depth
+        self._size = 0
+
+    @property
+    def bbox(self) -> BoundingBox:
+        return self._root.bbox
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, point: GeoPoint, payload: T) -> None:
+        """Insert a payload at a point; raises if the point is outside the tree bbox."""
+        entry = QuadTreeEntry(point, payload)
+        if not self._root.insert(entry, self._max_depth):
+            raise ValueError(f"point {point} outside quadtree bounds {self.bbox}")
+        self._size += 1
+
+    def query_bbox(self, bbox: BoundingBox) -> List[QuadTreeEntry[T]]:
+        """All entries inside ``bbox`` (inclusive bounds)."""
+        out: List[QuadTreeEntry[T]] = []
+        self._root.query_bbox(bbox, out)
+        return out
+
+    def query_radius(self, center: GeoPoint, radius_m: float) -> List[QuadTreeEntry[T]]:
+        """All entries within ``radius_m`` meters of ``center``."""
+        if radius_m < 0:
+            raise ValueError("radius must be non-negative")
+        window = BoundingBox.around(center, radius_m)
+        clipped = window.intersection(self.bbox)
+        if clipped is None:
+            return []
+        return [
+            e for e in self.query_bbox(clipped) if center.distance_to(e.point) <= radius_m
+        ]
+
+    def nearest(self, center: GeoPoint, k: int = 1, max_radius_m: float = 50_000.0):
+        """The ``k`` entries nearest to ``center`` within ``max_radius_m``.
+
+        Implemented by expanding ring search — simple and fast enough for the
+        tree sizes here (tens of thousands of venues).
+        Returns a list of ``(distance_m, entry)`` sorted ascending.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        radius = 250.0
+        while True:
+            hits = self.query_radius(center, min(radius, max_radius_m))
+            if len(hits) >= k or radius >= max_radius_m:
+                scored = sorted(
+                    ((center.distance_to(e.point), e) for e in hits), key=lambda t: t[0]
+                )
+                return scored[:k]
+            radius *= 2.0
+
+    def __iter__(self) -> Iterator[QuadTreeEntry[T]]:
+        return self._root.iter_entries()

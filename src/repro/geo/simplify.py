@@ -1,0 +1,70 @@
+"""Polyline simplification (Douglas–Peucker) for trace rendering.
+
+A day of GPS fixes is hundreds of points; rendering them raw produces
+megabyte SVGs.  Douglas–Peucker keeps the shape within a metric tolerance
+with a fraction of the vertices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .point import GeoPoint, haversine_m
+from .projection import EquirectangularProjection
+
+__all__ = ["simplify_polyline", "perpendicular_distance_m"]
+
+
+def perpendicular_distance_m(point: GeoPoint, start: GeoPoint, end: GeoPoint) -> float:
+    """Distance from ``point`` to the segment ``start–end``, in meters.
+
+    Computed on the local tangent plane centered at ``start`` — exact enough
+    at city scale, and cheap.
+    """
+    projection = EquirectangularProjection(start)
+    px, py = projection.forward(point.lat, point.lon)
+    ex, ey = projection.forward(end.lat, end.lon)
+    seg_len_sq = ex * ex + ey * ey
+    if seg_len_sq == 0.0:
+        return haversine_m(point.lat, point.lon, start.lat, start.lon)
+    # Project onto the segment, clamped to [0, 1].
+    t = max(0.0, min(1.0, (px * ex + py * ey) / seg_len_sq))
+    cx, cy = t * ex, t * ey
+    return ((px - cx) ** 2 + (py - cy) ** 2) ** 0.5
+
+
+def simplify_polyline(
+    points: Sequence[GeoPoint], tolerance_m: float = 25.0
+) -> List[GeoPoint]:
+    """Douglas–Peucker simplification with a metric tolerance.
+
+    Endpoints are always kept; any removed point lies within
+    ``tolerance_m`` of the simplified polyline.  Iterative (explicit stack)
+    so kilometre-long traces cannot hit the recursion limit.
+    """
+    if tolerance_m <= 0:
+        raise ValueError("tolerance must be positive")
+    n = len(points)
+    if n <= 2:
+        return list(points)
+
+    keep = [False] * n
+    keep[0] = keep[n - 1] = True
+    stack = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        # The farthest intermediate point from the chord lo–hi.
+        best_dist = -1.0
+        best_idx = lo
+        for i in range(lo + 1, hi):
+            d = perpendicular_distance_m(points[i], points[lo], points[hi])
+            if d > best_dist:
+                best_dist = d
+                best_idx = i
+        if best_dist > tolerance_m:
+            keep[best_idx] = True
+            stack.append((lo, best_idx))
+            stack.append((best_idx, hi))
+    return [p for p, kept in zip(points, keep) if kept]

@@ -1,0 +1,48 @@
+"""Sequential-pattern mining: modified PrefixSpan plus baselines and tools."""
+
+from .base import MiningLimits, SequentialPattern, sort_patterns
+from .bruteforce import bruteforce_mine
+from .filters import closed_patterns, maximal_patterns, top_k_patterns
+from .gsp import gsp
+from .incremental import IncrementalPatternStore
+from .interop import (
+    ItemCodec,
+    read_spmf_database,
+    read_spmf_patterns,
+    write_spmf_database,
+    write_spmf_patterns,
+)
+from .modified import (
+    ExactMatcher,
+    FlexibleMatcher,
+    ModifiedPrefixSpanConfig,
+    modified_prefixspan,
+)
+from .prefixspan import prefixspan
+from .stats import MiningAggregate, UserMiningStats, aggregate_stats, user_mining_stats
+
+__all__ = [
+    "ExactMatcher",
+    "FlexibleMatcher",
+    "IncrementalPatternStore",
+    "ItemCodec",
+    "MiningAggregate",
+    "MiningLimits",
+    "ModifiedPrefixSpanConfig",
+    "SequentialPattern",
+    "UserMiningStats",
+    "aggregate_stats",
+    "bruteforce_mine",
+    "closed_patterns",
+    "gsp",
+    "maximal_patterns",
+    "modified_prefixspan",
+    "prefixspan",
+    "read_spmf_database",
+    "read_spmf_patterns",
+    "sort_patterns",
+    "top_k_patterns",
+    "user_mining_stats",
+    "write_spmf_database",
+    "write_spmf_patterns",
+]

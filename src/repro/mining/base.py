@@ -1,0 +1,70 @@
+"""Common types for sequential-pattern miners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["SequentialPattern", "MiningLimits", "sort_patterns"]
+
+Item = TypeVar("Item", bound=Hashable)
+
+
+@dataclass(frozen=True)
+class SequentialPattern(Generic[Item]):
+    """A mined frequent sequence with its support.
+
+    ``count`` is the number of database sequences containing the pattern;
+    ``support`` is ``count / |database|``.
+    """
+
+    items: Tuple[Item, ...]
+    count: int
+    support: float
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ValueError("a pattern must contain at least one item")
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+        if not (0.0 <= self.support <= 1.0 + 1e-12):
+            raise ValueError(f"support {self.support} out of [0, 1]")
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def is_subpattern_of(self, other: "SequentialPattern[Item]") -> bool:
+        """True when this pattern is a (gappy) subsequence of ``other``."""
+        it = iter(other.items)
+        return all(any(item == candidate for candidate in it) for item in self.items)
+
+    def format(self, item_fmt: Optional[Callable[[Item], str]] = None) -> str:
+        fmt = item_fmt or str
+        arrow = " → ".join(fmt(i) for i in self.items)
+        return f"[{arrow}] (support {self.support:.2f}, n={self.count})"
+
+
+@dataclass(frozen=True)
+class MiningLimits:
+    """Shared structural limits across miners."""
+
+    min_length: int = 1
+    max_length: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.min_length < 1:
+            raise ValueError("min_length must be >= 1")
+        if self.max_length is not None and self.max_length < self.min_length:
+            raise ValueError("max_length must be >= min_length")
+
+    def admits_longer_than(self, length: int) -> bool:
+        """Can patterns longer than ``length`` still be emitted?"""
+        return self.max_length is None or length < self.max_length
+
+
+def sort_patterns(patterns: Sequence[SequentialPattern]) -> List[SequentialPattern]:
+    """Canonical report order: support desc, length desc, then lexicographic."""
+    return sorted(
+        patterns,
+        key=lambda p: (-p.count, -len(p.items), tuple(repr(i) for i in p.items)),
+    )

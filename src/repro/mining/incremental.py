@@ -1,0 +1,164 @@
+"""Incremental pattern maintenance as new days stream in.
+
+The demo platform ingests live uploads ("if any audience member is willing
+to share their check-in history, we can upload it"), and a deployed
+CrowdWeb receives each user's new day every midnight.  Re-mining everything
+per day is wasteful; :class:`IncrementalPatternStore` maintains a user's
+pattern set with exact support counts as days arrive and tells the caller
+when a full re-mine is actually needed.
+
+Guarantees
+----------
+* Counts/supports of *tracked* patterns are exact at all times (every new
+  day is matched against every tracked pattern with the same flexible
+  semantics the miner uses).
+* The tracked set is complete immediately after :meth:`remine`.  Between
+  re-mines, new behaviour can create patterns that were never tracked; the
+  store detects the observable trigger — a pattern *item* crossing the
+  support threshold that was not frequent at the last mine — and raises
+  :attr:`needs_remine`.  A day-count backstop (``remine_interval``) bounds
+  staleness regardless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sequences import SequenceDatabase, TimedItem
+from ..taxonomy import CategoryTree
+from .base import SequentialPattern, sort_patterns
+from .modified import FlexibleMatcher, ModifiedPrefixSpanConfig, modified_prefixspan
+
+__all__ = ["IncrementalPatternStore"]
+
+
+class IncrementalPatternStore:
+    """One user's pattern set, maintained day by day."""
+
+    def __init__(
+        self,
+        initial_days: Sequence[Sequence[TimedItem]],
+        config: ModifiedPrefixSpanConfig = ModifiedPrefixSpanConfig(),
+        taxonomy: Optional[CategoryTree] = None,
+        n_bins: int = 24,
+        remine_interval: int = 7,
+    ) -> None:
+        if remine_interval < 1:
+            raise ValueError("remine_interval must be >= 1")
+        self.config = config
+        self.taxonomy = taxonomy
+        self.n_bins = n_bins
+        self.remine_interval = remine_interval
+        self._matcher = FlexibleMatcher(
+            n_bins=n_bins,
+            time_tolerance_bins=config.time_tolerance_bins,
+            taxonomy=taxonomy,
+            include_ancestor_labels=config.include_ancestor_labels,
+        )
+        self._days: List[Tuple[TimedItem, ...]] = [tuple(d) for d in initial_days]
+        self._pattern_counts: Dict[Tuple[TimedItem, ...], int] = {}
+        self._item_counts: Dict[TimedItem, int] = {}
+        self._frequent_items_at_mine: Set[TimedItem] = set()
+        self._days_since_mine = 0
+        self._stale = False
+        self.remine()
+
+    # ------------------------------------------------------------ matching
+
+    def _matches_day(self, pattern: Tuple[TimedItem, ...], day: Tuple[TimedItem, ...]) -> bool:
+        """Flexible-subsequence check (same semantics as the miner)."""
+        max_gap = self.config.max_gap_bins
+
+        def helper(p_idx: int, start: int, prev_bin: Optional[int]) -> bool:
+            if p_idx == len(pattern):
+                return True
+            for k in range(start, len(day)):
+                item = day[k]
+                if prev_bin is not None and max_gap is not None:
+                    if item.bin - prev_bin > max_gap:
+                        continue
+                if self._matcher.matches(pattern[p_idx], item):
+                    if helper(p_idx + 1, k + 1, item.bin):
+                        return True
+            return False
+
+        return helper(0, 0, None)
+
+    def _count_items(self, day: Tuple[TimedItem, ...]) -> None:
+        supported: Set[TimedItem] = set()
+        for item in day:
+            supported.update(self._matcher.candidates_for(item))
+        # An item candidate is supported by this day if any day item matches it.
+        for candidate in supported:
+            self._item_counts[candidate] = self._item_counts.get(candidate, 0) + 1
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def n_days(self) -> int:
+        return len(self._days)
+
+    @property
+    def min_count(self) -> int:
+        import math
+
+        return max(1, math.ceil(self.config.min_support * max(1, len(self._days))))
+
+    @property
+    def needs_remine(self) -> bool:
+        """True when completeness can no longer be guaranteed."""
+        return self._stale or self._days_since_mine >= self.remine_interval
+
+    def add_day(self, items: Sequence[TimedItem]) -> None:
+        """Ingest one new day; exact-updates tracked counts."""
+        day = tuple(items)
+        self._days.append(day)
+        self._days_since_mine += 1
+        self._count_items(day)
+        for pattern in self._pattern_counts:
+            if self._matches_day(pattern, day):
+                self._pattern_counts[pattern] += 1
+        # Staleness trigger: an item newly crossing the threshold that was
+        # not frequent at the last full mine was never grown into patterns.
+        threshold = self.min_count
+        for candidate, count in self._item_counts.items():
+            if count >= threshold and candidate not in self._frequent_items_at_mine:
+                self._stale = True
+                break
+
+    def remine(self) -> None:
+        """Full re-mine; restores the completeness guarantee."""
+        db = SequenceDatabase(self._days, name="incremental")
+        mined = modified_prefixspan(db, self.config, taxonomy=self.taxonomy,
+                                    n_bins=self.n_bins)
+        self._pattern_counts = {p.items: p.count for p in mined}
+        # Rebuild item counts from scratch (exact).
+        self._item_counts = {}
+        for day in self._days:
+            self._count_items(day)
+        threshold = self.min_count
+        self._frequent_items_at_mine = {
+            item for item, count in self._item_counts.items() if count >= threshold
+        }
+        self._days_since_mine = 0
+        self._stale = False
+
+    # -------------------------------------------------------------- output
+
+    def patterns(self) -> List[SequentialPattern[TimedItem]]:
+        """Currently-frequent tracked patterns, canonical order."""
+        n = max(1, len(self._days))
+        threshold = self.min_count
+        out = [
+            SequentialPattern(items=items, count=count, support=count / n)
+            for items, count in self._pattern_counts.items()
+            if count >= threshold
+        ]
+        return sort_patterns(out)
+
+    def support_of(self, items: Sequence[TimedItem]) -> Optional[float]:
+        """Exact support of a tracked pattern, or None if untracked."""
+        count = self._pattern_counts.get(tuple(items))
+        if count is None:
+            return None
+        return count / max(1, len(self._days))

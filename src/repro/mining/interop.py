@@ -1,0 +1,168 @@
+"""SPMF-style text interop for sequence databases and mined patterns.
+
+`SPMF <https://www.philippe-fournier-viger.com/spmf/>`_ is the de-facto
+toolbox for sequential-pattern mining; its text format (items as integers,
+``-1`` closes an itemset, ``-2`` closes a sequence) is the lingua franca of
+the field.  These functions let CrowdWeb databases round-trip through SPMF
+(e.g. to cross-check the miners against SPMF's PrefixSpan) and let SPMF
+output be loaded back as :class:`SequentialPattern` objects.
+
+Items here are atomic, so every itemset holds exactly one item.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Hashable, List, Sequence, Tuple, TypeVar, Union
+
+from ..sequences import SequenceDatabase, TimedItem
+from .base import SequentialPattern, sort_patterns
+
+__all__ = [
+    "ItemCodec",
+    "write_spmf_database",
+    "read_spmf_database",
+    "write_spmf_patterns",
+    "read_spmf_patterns",
+]
+
+Item = TypeVar("Item", bound=Hashable)
+
+
+class ItemCodec:
+    """Stable bidirectional mapping between items and SPMF integer ids.
+
+    Ids start at 1 (SPMF reserves non-positive integers as separators) and
+    are assigned in sorted-repr order, so the same database always produces
+    the same encoding.
+    """
+
+    def __init__(self, items: Sequence[Item]) -> None:
+        ordered = sorted(set(items), key=repr)
+        self._to_id: Dict[Item, int] = {item: i + 1 for i, item in enumerate(ordered)}
+        self._from_id: Dict[int, Item] = {i: item for item, i in self._to_id.items()}
+
+    @classmethod
+    def for_database(cls, db: SequenceDatabase) -> "ItemCodec":
+        return cls([item for seq in db for item in seq])
+
+    def encode(self, item: Item) -> int:
+        try:
+            return self._to_id[item]
+        except KeyError:
+            raise KeyError(f"item {item!r} not in codec") from None
+
+    def decode(self, item_id: int) -> Item:
+        try:
+            return self._from_id[item_id]
+        except KeyError:
+            raise KeyError(f"id {item_id} not in codec") from None
+
+    def __len__(self) -> int:
+        return len(self._to_id)
+
+    def __contains__(self, item: Item) -> bool:
+        return item in self._to_id
+
+    def mapping_lines(self) -> List[str]:
+        """Human-readable ``id<TAB>repr(item)`` lines (the sidecar format)."""
+        return [f"{i}\t{self._from_id[i]!r}" for i in sorted(self._from_id)]
+
+
+def write_spmf_database(
+    db: SequenceDatabase, path: Union[str, Path]
+) -> ItemCodec:
+    """Write a database in SPMF sequence format; returns the codec used.
+
+    A ``<path>.dict`` sidecar records the id→item mapping.
+    """
+    path = Path(path)
+    codec = ItemCodec.for_database(db)
+    lines = []
+    for seq in db:
+        parts: List[str] = []
+        for item in seq:
+            parts.append(str(codec.encode(item)))
+            parts.append("-1")
+        parts.append("-2")
+        lines.append(" ".join(parts))
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    Path(str(path) + ".dict").write_text(
+        "\n".join(codec.mapping_lines()) + "\n", encoding="utf-8"
+    )
+    return codec
+
+
+def read_spmf_database(path: Union[str, Path]) -> SequenceDatabase[int]:
+    """Load an SPMF sequence file as a database of integer items.
+
+    Multi-item itemsets are flattened in file order (this library's items
+    are atomic).  Malformed tokens raise :class:`ValueError` with location.
+    """
+    path = Path(path)
+    sequences: List[List[int]] = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith(("#", "@")):
+            continue
+        seq: List[int] = []
+        for token in line.split():
+            try:
+                value = int(token)
+            except ValueError:
+                raise ValueError(f"{path}:{lineno}: bad token {token!r}") from None
+            if value == -1:
+                continue
+            if value == -2:
+                break
+            if value <= 0:
+                raise ValueError(f"{path}:{lineno}: invalid item id {value}")
+            seq.append(value)
+        sequences.append(seq)
+    return SequenceDatabase(sequences, name=path.stem)
+
+
+def write_spmf_patterns(
+    patterns: Sequence[SequentialPattern],
+    codec: ItemCodec,
+    path: Union[str, Path],
+) -> None:
+    """Write patterns in SPMF output style: ``1 -1 2 -1 #SUP: 5``."""
+    path = Path(path)
+    lines = []
+    for p in sort_patterns(patterns):
+        ids = " -1 ".join(str(codec.encode(item)) for item in p.items)
+        lines.append(f"{ids} -1 #SUP: {p.count}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_spmf_patterns(
+    path: Union[str, Path], codec: ItemCodec, n_sequences: int
+) -> List[SequentialPattern]:
+    """Load SPMF pattern output back into :class:`SequentialPattern`s.
+
+    ``n_sequences`` supplies the denominator for relative support.
+    """
+    if n_sequences < 1:
+        raise ValueError("n_sequences must be >= 1")
+    path = Path(path)
+    patterns: List[SequentialPattern] = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if "#SUP:" not in line:
+            raise ValueError(f"{path}:{lineno}: missing #SUP: marker")
+        items_part, support_part = line.split("#SUP:", 1)
+        try:
+            count = int(support_part.strip())
+            ids = [int(tok) for tok in items_part.split() if tok != "-1"]
+            items = tuple(codec.decode(i) for i in ids)
+        except (ValueError, KeyError) as exc:
+            raise ValueError(f"{path}:{lineno}: malformed pattern line: {exc}") from exc
+        if not items:
+            raise ValueError(f"{path}:{lineno}: empty pattern")
+        patterns.append(
+            SequentialPattern(items=items, count=count, support=count / n_sequences)
+        )
+    return sort_patterns(patterns)

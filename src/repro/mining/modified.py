@@ -1,0 +1,237 @@
+"""The *modified PrefixSpan* of CrowdWeb/iMAP: flexible mobility patterns.
+
+The paper's motivation is that humans are consistent in *kind* but flexible
+in *detail*: lunch is always "a Thai place around noon", never the same
+venue, never the exact same minute.  Classic PrefixSpan over raw items
+cannot see such a routine.  The modified algorithm works on
+(time-bin, place-label) items and relaxes matching in three directions:
+
+* **time tolerance** — a pattern item at bin 12 matches visits at bins
+  11–13 (circular, configurable);
+* **label flexibility** — optionally, a pattern item labeled with an
+  *ancestor* category ("Eatery") matches visits to any descendant
+  ("Thai Restaurant"); candidate pattern items are generated at every
+  abstraction level, so the most supported level wins;
+* **gap constraint** — optionally, consecutive pattern items must occur
+  within ``max_gap_bins`` of each other, keeping patterns within one
+  routine episode rather than spanning breakfast-to-midnight.
+
+Support stays sequence-relative (fraction of user-days), matching the
+paper's ``min_support`` sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..sequences.database import SequenceDatabase
+from ..sequences.items import TimedItem
+from ..taxonomy import CategoryTree, UnknownCategoryError
+from .base import MiningLimits, SequentialPattern, sort_patterns
+
+__all__ = [
+    "ExactMatcher",
+    "FlexibleMatcher",
+    "ModifiedPrefixSpanConfig",
+    "modified_prefixspan",
+]
+
+
+class ExactMatcher:
+    """Degenerate matcher: the modified algorithm collapses to PrefixSpan."""
+
+    def candidates_for(self, item: TimedItem) -> Iterable[TimedItem]:
+        return (item,)
+
+    def matches(self, pattern_item: TimedItem, item: TimedItem) -> bool:
+        return pattern_item == item
+
+
+class FlexibleMatcher:
+    """Time-tolerant, optionally taxonomy-aware item matching.
+
+    Parameters
+    ----------
+    n_bins:
+        Number of time bins per day (for circular bin distance).
+    time_tolerance_bins:
+        A pattern item at bin ``b`` matches sequence items in
+        ``[b - tol, b + tol]`` (circular).
+    taxonomy / include_ancestor_labels:
+        When enabled, each observed label also generates pattern-item
+        candidates for each of its taxonomy ancestors, and an ancestor label
+        matches any descendant.  Labels missing from the taxonomy degrade to
+        exact matching.
+    """
+
+    def __init__(
+        self,
+        n_bins: int,
+        time_tolerance_bins: int = 1,
+        taxonomy: Optional[CategoryTree] = None,
+        include_ancestor_labels: bool = False,
+    ) -> None:
+        if n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        if time_tolerance_bins < 0:
+            raise ValueError("time tolerance must be non-negative")
+        self.n_bins = n_bins
+        self.time_tolerance_bins = time_tolerance_bins
+        self.taxonomy = taxonomy
+        self.include_ancestor_labels = include_ancestor_labels and taxonomy is not None
+        self._ancestor_cache: Dict[str, Tuple[str, ...]] = {}
+
+    def _bin_distance(self, a: int, b: int) -> int:
+        d = abs(a - b)
+        return min(d, self.n_bins - d)
+
+    def _ancestors_of(self, label: str) -> Tuple[str, ...]:
+        """The label itself plus its taxonomy ancestors (nearest first)."""
+        cached = self._ancestor_cache.get(label)
+        if cached is not None:
+            return cached
+        names: Tuple[str, ...] = (label,)
+        if self.include_ancestor_labels:
+            assert self.taxonomy is not None
+            try:
+                node = self.taxonomy.resolve(label)
+                names = (label,) + tuple(a.name for a in self.taxonomy.ancestors(node.category_id))
+            except UnknownCategoryError:
+                pass
+        self._ancestor_cache[label] = names
+        return names
+
+    def _label_matches(self, pattern_label: str, item_label: str) -> bool:
+        return pattern_label in self._ancestors_of(item_label)
+
+    def candidates_for(self, item: TimedItem) -> Iterable[TimedItem]:
+        return (TimedItem(item.bin, name) for name in self._ancestors_of(item.label))
+
+    def matches(self, pattern_item: TimedItem, item: TimedItem) -> bool:
+        return (
+            self._bin_distance(pattern_item.bin, item.bin) <= self.time_tolerance_bins
+            and self._label_matches(pattern_item.label, item.label)
+        )
+
+
+@dataclass(frozen=True)
+class ModifiedPrefixSpanConfig:
+    """Knobs of the modified algorithm (defaults match the paper's setup)."""
+
+    min_support: float = 0.5
+    limits: MiningLimits = field(default_factory=MiningLimits)
+    time_tolerance_bins: int = 1
+    max_gap_bins: Optional[int] = None
+    include_ancestor_labels: bool = False
+    #: Merge pattern-item candidates that differ only in bin but support the
+    #: exact same user-days (keeps reports free of near-duplicate patterns).
+    canonicalize_bins: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.min_support <= 1.0):
+            raise ValueError("min_support must be in (0, 1]")
+        if self.time_tolerance_bins < 0:
+            raise ValueError("time_tolerance_bins must be non-negative")
+        if self.max_gap_bins is not None and self.max_gap_bins < 0:
+            raise ValueError("max_gap_bins must be non-negative")
+
+
+def modified_prefixspan(
+    db: SequenceDatabase[TimedItem],
+    config: ModifiedPrefixSpanConfig = ModifiedPrefixSpanConfig(),
+    taxonomy: Optional[CategoryTree] = None,
+    n_bins: int = 24,
+) -> List[SequentialPattern[TimedItem]]:
+    """Mine flexible mobility patterns from one user's daily-sequence database.
+
+    Returns patterns in canonical order.  With ``time_tolerance_bins=0`` and
+    no taxonomy this is exactly classic PrefixSpan.
+    """
+    n = len(db)
+    if n == 0:
+        return []
+    matcher = FlexibleMatcher(
+        n_bins=n_bins,
+        time_tolerance_bins=config.time_tolerance_bins,
+        taxonomy=taxonomy,
+        include_ancestor_labels=config.include_ancestor_labels,
+    )
+    min_count = db.min_count(config.min_support)
+    sequences = db.sequences
+    results: List[SequentialPattern[TimedItem]] = []
+
+    def all_match_positions(
+        candidate: TimedItem, seq: Tuple[TimedItem, ...], starts: FrozenSet[int], with_gap: bool
+    ) -> FrozenSet[int]:
+        """Resume positions after every admissible match of ``candidate``."""
+        out: Set[int] = set()
+        for start in starts:
+            prev_bin = seq[start - 1].bin if (with_gap and start > 0) else None
+            for k in range(start, len(seq)):
+                item = seq[k]
+                if prev_bin is not None and config.max_gap_bins is not None:
+                    if item.bin - prev_bin > config.max_gap_bins:
+                        continue
+                if matcher.matches(candidate, item):
+                    out.add(k + 1)
+        return frozenset(out)
+
+    # Candidate pattern items are drawn from the database's full observed
+    # vocabulary (plus taxonomy ancestors).  The pool must be global, not
+    # per-projection: with time tolerance, a pattern item at bin b can match
+    # postfix items at bins b±tol even when no postfix item sits at b itself.
+    global_pool: Set[TimedItem] = set()
+    for seq in sequences:
+        for item in seq:
+            global_pool.update(matcher.candidates_for(item))
+
+    def grow(prefix: Tuple[TimedItem, ...], projections: Dict[int, FrozenSet[int]]) -> None:
+        with_gap = bool(prefix) and config.max_gap_bins is not None
+        # Exact support of every pool candidate via the match predicate.
+        supported: Dict[TimedItem, Dict[int, FrozenSet[int]]] = {}
+        for candidate in global_pool:
+            supporters: Dict[int, FrozenSet[int]] = {}
+            for seq_index, starts in projections.items():
+                positions = all_match_positions(candidate, sequences[seq_index], starts, with_gap)
+                if positions:
+                    supporters[seq_index] = positions
+            if len(supporters) >= min_count:
+                supported[candidate] = supporters
+
+        if config.canonicalize_bins:
+            supported = _canonicalize(supported)
+
+        for candidate in sorted(supported, key=lambda c: (c.label, c.bin)):
+            supporters = supported[candidate]
+            count = len(supporters)
+            pattern_items = prefix + (candidate,)
+            if len(pattern_items) >= config.limits.min_length:
+                results.append(
+                    SequentialPattern(items=pattern_items, count=count, support=count / n)
+                )
+            if config.limits.admits_longer_than(len(pattern_items)):
+                grow(pattern_items, supporters)
+
+    grow((), {i: frozenset({0}) for i in range(n)})
+    return sort_patterns(results)
+
+
+def _canonicalize(
+    supported: Dict[TimedItem, Dict[int, FrozenSet[int]]]
+) -> Dict[TimedItem, Dict[int, FrozenSet[int]]]:
+    """Drop candidates that duplicate a same-label candidate's evidence.
+
+    Two candidates with the same label whose supporter→positions maps are
+    identical describe the same real-world behaviour seen through adjacent
+    bins; keep the earliest bin.
+    """
+    kept: Dict[TimedItem, Dict[int, FrozenSet[int]]] = {}
+    seen: Dict[Tuple[str, Tuple[Tuple[int, FrozenSet[int]], ...]], TimedItem] = {}
+    for candidate in sorted(supported, key=lambda c: (c.label, c.bin)):
+        evidence = (candidate.label, tuple(sorted(supported[candidate].items())))
+        if evidence in seen:
+            continue
+        seen[evidence] = candidate
+        kept[candidate] = supported[candidate]
+    return kept

@@ -1,0 +1,108 @@
+"""Place graphs: "a graph of visited places based on historical records".
+
+The individual view of the platform shows each user a directed graph whose
+nodes are the places (labels) they visit and whose edges are observed
+same-day transitions, weighted by frequency.  Built on networkx so standard
+graph analytics (PageRank, components) come for free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..data.records import CheckInDataset
+from ..sequences import DailySession, Labeler, TimeBinning, HOURLY, sessionize_user
+from .model import UserPatternProfile
+
+__all__ = [
+    "build_place_graph",
+    "build_pattern_graph",
+    "top_transitions",
+    "place_importance",
+]
+
+
+def build_place_graph(
+    dataset: CheckInDataset,
+    user_id: str,
+    labeler: Labeler,
+    binning: TimeBinning = HOURLY,
+) -> nx.DiGraph:
+    """The user's observed-transition graph.
+
+    Nodes carry ``visits`` (total check-ins with that label); edges carry
+    ``weight`` (number of observed consecutive same-day transitions) and
+    ``days`` (number of distinct days the transition occurred on).
+    """
+    graph = nx.DiGraph(user_id=user_id)
+    sessions = sessionize_user(dataset, user_id, labeler, binning)
+    for session in sessions:
+        labels = [item.label for item in session.items]
+        for label in labels:
+            if graph.has_node(label):
+                graph.nodes[label]["visits"] += 1
+            else:
+                graph.add_node(label, visits=1)
+        for src, dst in zip(labels, labels[1:]):
+            if src == dst:
+                continue
+            if graph.has_edge(src, dst):
+                graph[src][dst]["weight"] += 1
+                graph[src][dst]["day_set"].add(session.day)
+            else:
+                graph.add_edge(src, dst, weight=1, day_set={session.day})
+    for _, _, attrs in graph.edges(data=True):
+        attrs["days"] = len(attrs.pop("day_set"))
+    return graph
+
+
+def build_pattern_graph(profile: UserPatternProfile) -> nx.DiGraph:
+    """The graph implied by the user's *mined patterns* (not raw records).
+
+    Nodes are pattern item labels annotated with their best support and
+    typical time bins; edges link consecutive items of each pattern with the
+    pattern's support as weight (max over patterns sharing the edge).
+    """
+    graph = nx.DiGraph(user_id=profile.user_id)
+    for pattern in profile.patterns:
+        for item in pattern.items:
+            if graph.has_node(item.label):
+                node = graph.nodes[item.label]
+                node["support"] = max(node["support"], pattern.support)
+                node["bins"].add(item.bin)
+            else:
+                graph.add_node(item.label, support=pattern.support, bins={item.bin})
+        for a, b in zip(pattern.items, pattern.items[1:]):
+            if a.label == b.label:
+                continue
+            weight = pattern.support
+            if graph.has_edge(a.label, b.label):
+                graph[a.label][b.label]["weight"] = max(
+                    graph[a.label][b.label]["weight"], weight
+                )
+            else:
+                graph.add_edge(a.label, b.label, weight=weight)
+    for _, attrs in graph.nodes(data=True):
+        attrs["bins"] = sorted(attrs["bins"])
+    return graph
+
+
+def top_transitions(graph: nx.DiGraph, k: int = 10) -> List[Tuple[str, str, float]]:
+    """The ``k`` heaviest edges as (src, dst, weight)."""
+    edges = [(u, v, attrs.get("weight", 0)) for u, v, attrs in graph.edges(data=True)]
+    edges.sort(key=lambda e: (-e[2], e[0], e[1]))
+    return edges[:k]
+
+
+def place_importance(graph: nx.DiGraph) -> Dict[str, float]:
+    """PageRank importance of each place in the transition graph.
+
+    Falls back to degree centrality when the graph has no edges (PageRank
+    on an edgeless graph is just uniform and uninformative).
+    """
+    if graph.number_of_edges() == 0:
+        n = graph.number_of_nodes()
+        return {node: 1.0 / n for node in graph} if n else {}
+    return nx.pagerank(graph, weight="weight")

@@ -1,0 +1,148 @@
+"""Per-user mobility-pattern profiles — phase 2 of the framework.
+
+A :class:`UserPatternProfile` bundles everything the platform knows about
+one user: their daily-sequence database, the flexible patterns mined from
+it, and the binning that gives pattern items their clock meaning.  This is
+the unit the crowd layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..data.records import CheckInDataset
+from ..mining import (
+    ModifiedPrefixSpanConfig,
+    SequentialPattern,
+    closed_patterns,
+    modified_prefixspan,
+)
+from ..sequences import (
+    SequenceDatabase,
+    TimeBinning,
+    TimedItem,
+    build_user_database,
+    HOURLY,
+)
+from ..taxonomy import AbstractionLevel, CategoryTree
+
+__all__ = ["UserPatternProfile", "detect_user_patterns", "detect_all_patterns"]
+
+
+@dataclass
+class UserPatternProfile:
+    """One user's detected mobility patterns."""
+
+    user_id: str
+    patterns: Tuple[SequentialPattern[TimedItem], ...]
+    n_days: int
+    binning: TimeBinning = field(default_factory=lambda: HOURLY)
+    level: AbstractionLevel = AbstractionLevel.ROOT
+
+    def __post_init__(self) -> None:
+        self.patterns = tuple(self.patterns)
+
+    @property
+    def n_patterns(self) -> int:
+        return len(self.patterns)
+
+    def top(self, k: int = 10) -> List[SequentialPattern[TimedItem]]:
+        """The ``k`` strongest patterns (input order is already canonical)."""
+        return list(self.patterns[:k])
+
+    def labels(self) -> List[str]:
+        """All place labels appearing in any pattern, sorted."""
+        return sorted({item.label for p in self.patterns for item in p.items})
+
+    def items_at_bin(self, bin_index: int, tolerance: int = 0) -> List[Tuple[TimedItem, SequentialPattern]]:
+        """Pattern items active at a time bin (within ``tolerance`` bins).
+
+        This is the crowd layer's core query: "where does this user's
+        routine put them at 9 am?".
+        """
+        n_bins = self.binning.n_bins
+        hits = []
+        for pattern in self.patterns:
+            for item in pattern.items:
+                d = abs(item.bin - bin_index)
+                if min(d, n_bins - d) <= tolerance:
+                    hits.append((item, pattern))
+        return hits
+
+    def strongest_label_at_bin(self, bin_index: int, tolerance: int = 0) -> Optional[str]:
+        """The best-supported place label at a bin, or ``None``."""
+        best: Optional[Tuple[float, str]] = None
+        for item, pattern in self.items_at_bin(bin_index, tolerance):
+            key = (pattern.support, item.label)
+            if best is None or key > best:
+                best = key
+        return best[1] if best else None
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (used by the web API)."""
+        return {
+            "user_id": self.user_id,
+            "n_days": self.n_days,
+            "level": self.level.value,
+            "bin_width_hours": self.binning.width_hours,
+            "patterns": [
+                {
+                    "items": [
+                        {"bin": item.bin, "time": self.binning.label(item.bin), "label": item.label}
+                        for item in p.items
+                    ],
+                    "support": round(p.support, 4),
+                    "count": p.count,
+                }
+                for p in self.patterns
+            ],
+        }
+
+
+def detect_user_patterns(
+    dataset: CheckInDataset,
+    user_id: str,
+    taxonomy: CategoryTree,
+    level: AbstractionLevel = AbstractionLevel.ROOT,
+    binning: TimeBinning = HOURLY,
+    config: ModifiedPrefixSpanConfig = ModifiedPrefixSpanConfig(),
+    closed_only: bool = True,
+    day_kind: str = "all",
+) -> UserPatternProfile:
+    """Detect one user's mobility patterns (the paper's phase 2).
+
+    Builds the user's daily-sequence database at the chosen abstraction
+    level, runs the modified PrefixSpan, and (by default) reduces the output
+    to closed patterns.  ``day_kind`` ("all"/"weekday"/"weekend") mines a
+    day-type-conditioned routine.
+    """
+    db = build_user_database(dataset, user_id, taxonomy, level, binning,
+                             day_kind=day_kind)
+    patterns = modified_prefixspan(db, config, taxonomy=taxonomy, n_bins=binning.n_bins)
+    if closed_only:
+        patterns = closed_patterns(patterns)
+    return UserPatternProfile(
+        user_id=user_id,
+        patterns=tuple(patterns),
+        n_days=len(db),
+        binning=binning,
+        level=level,
+    )
+
+
+def detect_all_patterns(
+    dataset: CheckInDataset,
+    taxonomy: CategoryTree,
+    level: AbstractionLevel = AbstractionLevel.ROOT,
+    binning: TimeBinning = HOURLY,
+    config: ModifiedPrefixSpanConfig = ModifiedPrefixSpanConfig(),
+    closed_only: bool = True,
+    day_kind: str = "all",
+) -> Dict[str, UserPatternProfile]:
+    """Detect every user's patterns; map user id → profile."""
+    return {
+        uid: detect_user_patterns(dataset, uid, taxonomy, level, binning, config,
+                                  closed_only, day_kind)
+        for uid in dataset.user_ids()
+    }

@@ -1,0 +1,77 @@
+"""Similarity between users' mobility behaviour.
+
+Used by the crowd layer's extension features: grouping users with alike
+routines, and by the community view (which generalizes the paper's
+"categorized together as a group" from exact co-location to behavioural
+similarity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..mining import SequentialPattern
+from ..sequences import TimedItem
+from .model import UserPatternProfile
+
+__all__ = [
+    "jaccard_similarity",
+    "pattern_set_similarity",
+    "sequence_edit_similarity",
+    "profile_similarity_matrix",
+]
+
+
+def jaccard_similarity(a: Set, b: Set) -> float:
+    """|a ∩ b| / |a ∪ b|, with the convention that two empty sets match (1.0)."""
+    if not a and not b:
+        return 1.0
+    union = a | b
+    return len(a & b) / len(union)
+
+
+def pattern_set_similarity(p1: UserPatternProfile, p2: UserPatternProfile) -> float:
+    """Jaccard similarity of the two users' pattern-item sets.
+
+    Items are (bin, label) pairs, so "both at an Eatery around noon" counts
+    as overlap even when the full patterns differ.
+    """
+    items1 = {item for p in p1.patterns for item in p.items}
+    items2 = {item for p in p2.patterns for item in p.items}
+    return jaccard_similarity(items1, items2)
+
+
+def sequence_edit_similarity(a: Sequence[TimedItem], b: Sequence[TimedItem]) -> float:
+    """Normalized Levenshtein similarity of two item sequences in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    n, m = len(a), len(b)
+    # Classic DP over a rolling row.
+    previous = list(range(m + 1))
+    for i in range(1, n + 1):
+        current = [i] + [0] * m
+        for j in range(1, m + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            current[j] = min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+        previous = current
+    distance = previous[m]
+    return 1.0 - distance / max(n, m)
+
+
+def profile_similarity_matrix(
+    profiles: Dict[str, UserPatternProfile]
+) -> Tuple[List[str], np.ndarray]:
+    """Symmetric pairwise pattern-set similarity over all users.
+
+    Returns the sorted user-id list and the matching (n, n) matrix.
+    """
+    user_ids = sorted(profiles)
+    n = len(user_ids)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            s = pattern_set_similarity(profiles[user_ids[i]], profiles[user_ids[j]])
+            matrix[i, j] = matrix[j, i] = s
+    return user_ids, matrix

@@ -1,0 +1,96 @@
+"""Saving and loading mined pattern profiles.
+
+Mining is the expensive phase; the platform wants to restart without
+repeating it.  Profiles serialize to a single JSON document (schema
+versioned) and load back into :class:`~repro.patterns.UserPatternProfile`
+objects that behave identically — the crowd layer can be rebuilt from them
+plus the dataset.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+from .mining import SequentialPattern
+from .patterns import UserPatternProfile
+from .sequences import TimeBinning, TimedItem
+from .taxonomy import AbstractionLevel
+
+__all__ = ["save_profiles", "load_profiles", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+def save_profiles(
+    profiles: Mapping[str, UserPatternProfile], path: Union[str, Path]
+) -> Path:
+    """Write all profiles to one JSON file (atomic enough for our use)."""
+    path = Path(path)
+    if not profiles:
+        raise ValueError("refusing to save an empty profile collection")
+    binnings = {p.binning.width_hours for p in profiles.values()}
+    levels = {p.level for p in profiles.values()}
+    if len(binnings) != 1 or len(levels) != 1:
+        raise ValueError("all profiles must share one binning and one level")
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "bin_width_hours": next(iter(binnings)),
+        "level": next(iter(levels)).value,
+        "profiles": {
+            user_id: {
+                "n_days": profile.n_days,
+                "patterns": [
+                    {
+                        "items": [[item.bin, item.label] for item in p.items],
+                        "count": p.count,
+                        "support": p.support,
+                    }
+                    for p in profile.patterns
+                ],
+            }
+            for user_id, profile in sorted(profiles.items())
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return path
+
+
+def load_profiles(path: Union[str, Path]) -> Dict[str, UserPatternProfile]:
+    """Load a profile collection written by :func:`save_profiles`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid profile JSON: {exc}") from exc
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported profile schema {schema!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    try:
+        binning = TimeBinning(float(payload["bin_width_hours"]))
+        level = AbstractionLevel(payload["level"])
+        out: Dict[str, UserPatternProfile] = {}
+        for user_id, row in payload["profiles"].items():
+            patterns = tuple(
+                SequentialPattern(
+                    items=tuple(TimedItem(int(b), str(l)) for b, l in p["items"]),
+                    count=int(p["count"]),
+                    support=float(p["support"]),
+                )
+                for p in row["patterns"]
+            )
+            out[user_id] = UserPatternProfile(
+                user_id=user_id,
+                patterns=patterns,
+                n_days=int(row["n_days"]),
+                binning=binning,
+                level=level,
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"{path}: malformed profile document: {exc}") from exc
+    return out

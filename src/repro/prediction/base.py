@@ -1,0 +1,57 @@
+"""Next-place prediction: interfaces and dataset splitting.
+
+The paper motivates CrowdWeb with the poor accuracy (8–25%) of next-POI
+predictors.  This package reproduces that comparison: several predictors
+(frequency, Markov, mined-pattern-based, and a from-scratch numpy RNN — the
+DBSCAN+RNN baseline of ref [10]) evaluated on the same daily sequences the
+miner sees.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, Hashable, List, Sequence, Tuple, TypeVar
+
+__all__ = ["NextPlacePredictor", "split_sequences", "prediction_examples"]
+
+Token = TypeVar("Token", bound=Hashable)
+
+
+class NextPlacePredictor(ABC, Generic[Token]):
+    """Predicts the next place token given the day-so-far prefix."""
+
+    name: str = "predictor"
+
+    @abstractmethod
+    def fit(self, sequences: Sequence[Sequence[Token]]) -> "NextPlacePredictor[Token]":
+        """Train on historical daily sequences.  Returns self for chaining."""
+
+    @abstractmethod
+    def predict(self, prefix: Sequence[Token], k: int = 1) -> List[Token]:
+        """The ``k`` most likely next tokens, best first (may return fewer)."""
+
+
+def split_sequences(
+    sequences: Sequence[Sequence[Token]], train_frac: float = 0.7
+) -> Tuple[List[Sequence[Token]], List[Sequence[Token]]]:
+    """Chronological train/test split (sequences must already be in day order).
+
+    Never returns an empty train set when any sequences exist; the test set
+    may be empty for tiny inputs.
+    """
+    if not (0.0 < train_frac < 1.0):
+        raise ValueError("train_frac must be in (0, 1)")
+    n = len(sequences)
+    cut = max(1, int(n * train_frac)) if n else 0
+    return list(sequences[:cut]), list(sequences[cut:])
+
+
+def prediction_examples(
+    sequences: Sequence[Sequence[Token]],
+) -> List[Tuple[Tuple[Token, ...], Token]]:
+    """(prefix, next-token) pairs from every position of every sequence."""
+    examples: List[Tuple[Tuple[Token, ...], Token]] = []
+    for seq in sequences:
+        for i in range(1, len(seq)):
+            examples.append((tuple(seq[:i]), seq[i]))
+    return examples

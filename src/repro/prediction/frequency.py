@@ -1,0 +1,39 @@
+"""Frequency baseline: always predict the globally most common places."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, List, Sequence, TypeVar
+
+from .base import NextPlacePredictor
+
+__all__ = ["FrequencyPredictor"]
+
+Token = TypeVar("Token", bound=Hashable)
+
+
+class FrequencyPredictor(NextPlacePredictor[Token]):
+    """Predicts the most frequent tokens of the training data, always.
+
+    The floor every real model must beat; on highly routinized users it is
+    embarrassingly strong, which is part of the paper's point about
+    regularity.
+    """
+
+    name = "frequency"
+
+    def __init__(self) -> None:
+        self._ranked: List[Token] = []
+
+    def fit(self, sequences: Sequence[Sequence[Token]]) -> "FrequencyPredictor[Token]":
+        counts: Counter = Counter()
+        for seq in sequences:
+            counts.update(seq)
+        self._ranked = [token for token, _ in
+                        sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))]
+        return self
+
+    def predict(self, prefix: Sequence[Token], k: int = 1) -> List[Token]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self._ranked[:k]

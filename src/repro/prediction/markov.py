@@ -1,0 +1,66 @@
+"""Markov-chain next-place predictors with backoff."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, Hashable, List, Sequence, Tuple, TypeVar
+
+from .base import NextPlacePredictor
+from .frequency import FrequencyPredictor
+
+__all__ = ["MarkovPredictor"]
+
+Token = TypeVar("Token", bound=Hashable)
+
+
+class MarkovPredictor(NextPlacePredictor[Token]):
+    """Order-``n`` Markov chain over place tokens.
+
+    Transition counts are learned per context (the last ``n`` tokens); at
+    prediction time unseen contexts back off to progressively shorter
+    contexts and finally to global frequency — so the predictor always has
+    an answer.
+    """
+
+    def __init__(self, order: int = 1) -> None:
+        if order < 1:
+            raise ValueError("order must be >= 1")
+        self.order = order
+        self.name = f"markov-{order}"
+        # context length -> context tuple -> next-token counts
+        self._tables: Dict[int, Dict[Tuple[Token, ...], Counter]] = {}
+        self._fallback: FrequencyPredictor[Token] = FrequencyPredictor()
+
+    def fit(self, sequences: Sequence[Sequence[Token]]) -> "MarkovPredictor[Token]":
+        self._tables = {length: defaultdict(Counter) for length in range(1, self.order + 1)}
+        for seq in sequences:
+            for i in range(1, len(seq)):
+                for length in range(1, self.order + 1):
+                    if i - length < 0:
+                        break
+                    context = tuple(seq[i - length:i])
+                    self._tables[length][context][seq[i]] += 1
+        self._fallback.fit(sequences)
+        return self
+
+    def predict(self, prefix: Sequence[Token], k: int = 1) -> List[Token]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        ranked: List[Token] = []
+        # Longest matching context first, then shorter, then global frequency.
+        for length in range(min(self.order, len(prefix)), 0, -1):
+            context = tuple(prefix[-length:])
+            counts = self._tables.get(length, {}).get(context)
+            if not counts:
+                continue
+            for token, _ in sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0]))):
+                if token not in ranked:
+                    ranked.append(token)
+                    if len(ranked) == k:
+                        return ranked
+        for token in self._fallback.predict(prefix, k=k + len(ranked)):
+            if token not in ranked:
+                ranked.append(token)
+                if len(ranked) == k:
+                    break
+        return ranked[:k]

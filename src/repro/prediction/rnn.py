@@ -1,0 +1,162 @@
+"""A from-scratch numpy Elman RNN for next-place prediction.
+
+Reproduces the deep-learning baseline family the paper cites (ref [10],
+"human mobility prediction based on DBSCAN and RNN") without any DL
+framework: one-hot tokens → embedding → tanh recurrent layer → softmax,
+trained with truncated BPTT and plain SGD.  Deliberately small — the point
+the paper makes is that such models top out at modest accuracy on sparse
+check-in data, and a compact RNN reproduces that behaviour faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, TypeVar
+
+import numpy as np
+
+from .base import NextPlacePredictor
+
+__all__ = ["RNNPredictor"]
+
+Token = TypeVar("Token", bound=Hashable)
+
+
+class RNNPredictor(NextPlacePredictor[Token]):
+    """Elman RNN language model over place tokens.
+
+    Parameters
+    ----------
+    hidden_size:
+        Recurrent state width.
+    embed_size:
+        Token embedding width.
+    epochs / learning_rate:
+        SGD schedule; the learning rate decays linearly to 10% by the last
+        epoch.
+    seed:
+        Initialization seed — training is fully deterministic.
+    """
+
+    name = "rnn"
+
+    def __init__(
+        self,
+        hidden_size: int = 32,
+        embed_size: int = 16,
+        epochs: int = 30,
+        learning_rate: float = 0.1,
+        clip: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        if hidden_size < 1 or embed_size < 1 or epochs < 1:
+            raise ValueError("hidden_size, embed_size and epochs must be >= 1")
+        self.hidden_size = hidden_size
+        self.embed_size = embed_size
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.clip = clip
+        self.seed = seed
+        self._vocab: List[Token] = []
+        self._index: Dict[Token, int] = {}
+
+    # ------------------------------------------------------------- training
+
+    def fit(self, sequences: Sequence[Sequence[Token]]) -> "RNNPredictor[Token]":
+        rng = np.random.default_rng(self.seed)
+        tokens = sorted({t for seq in sequences for t in seq}, key=repr)
+        self._vocab = tokens
+        self._index = {t: i for i, t in enumerate(tokens)}
+        v, e, h = len(tokens), self.embed_size, self.hidden_size
+        if v == 0:
+            return self
+
+        scale = 0.1
+        self.E = rng.normal(0.0, scale, (v, e))      # embedding
+        self.Wxh = rng.normal(0.0, scale, (e, h))
+        self.Whh = rng.normal(0.0, scale, (h, h))
+        self.bh = np.zeros(h)
+        self.Why = rng.normal(0.0, scale, (h, v))
+        self.by = np.zeros(v)
+
+        encoded = [
+            np.array([self._index[t] for t in seq], dtype=int)
+            for seq in sequences
+            if len(seq) >= 2
+        ]
+        if not encoded:
+            return self
+
+        for epoch in range(self.epochs):
+            lr = self.learning_rate * (1.0 - 0.9 * epoch / max(1, self.epochs - 1))
+            order = rng.permutation(len(encoded))
+            for seq_idx in order:
+                self._train_sequence(encoded[seq_idx], lr)
+        return self
+
+    def _train_sequence(self, ids: np.ndarray, lr: float) -> None:
+        """One full-sequence BPTT step."""
+        T = len(ids) - 1
+        h_states = np.zeros((T + 1, self.hidden_size))
+        x_embeds = np.zeros((T, self.embed_size))
+        probs = np.zeros((T, len(self._vocab)))
+
+        # Forward.
+        for t in range(T):
+            x_embeds[t] = self.E[ids[t]]
+            raw = x_embeds[t] @ self.Wxh + h_states[t] @ self.Whh + self.bh
+            h_states[t + 1] = np.tanh(raw)
+            logits = h_states[t + 1] @ self.Why + self.by
+            logits -= logits.max()
+            exp = np.exp(logits)
+            probs[t] = exp / exp.sum()
+
+        # Backward.
+        dE = np.zeros_like(self.E)
+        dWxh = np.zeros_like(self.Wxh)
+        dWhh = np.zeros_like(self.Whh)
+        dbh = np.zeros_like(self.bh)
+        dWhy = np.zeros_like(self.Why)
+        dby = np.zeros_like(self.by)
+        dh_next = np.zeros(self.hidden_size)
+        for t in range(T - 1, -1, -1):
+            dy = probs[t].copy()
+            dy[ids[t + 1]] -= 1.0
+            dWhy += np.outer(h_states[t + 1], dy)
+            dby += dy
+            dh = self.Why @ dy + dh_next
+            draw = (1.0 - h_states[t + 1] ** 2) * dh
+            dWxh += np.outer(x_embeds[t], draw)
+            dWhh += np.outer(h_states[t], draw)
+            dbh += draw
+            dE[ids[t]] += self.Wxh @ draw
+            dh_next = self.Whh @ draw
+
+        for grad, param in (
+            (dE, self.E), (dWxh, self.Wxh), (dWhh, self.Whh),
+            (dbh, self.bh), (dWhy, self.Why), (dby, self.by),
+        ):
+            np.clip(grad, -self.clip, self.clip, out=grad)
+            param -= lr * grad / max(1, T)
+
+    # ------------------------------------------------------------ inference
+
+    def predict(self, prefix: Sequence[Token], k: int = 1) -> List[Token]:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not self._vocab:
+            return []
+        h = np.zeros(self.hidden_size)
+        saw_known = False
+        for token in prefix:
+            idx = self._index.get(token)
+            if idx is None:
+                continue  # unseen token: skip (the RNN has no embedding for it)
+            saw_known = True
+            h = np.tanh(self.E[idx] @ self.Wxh + h @ self.Whh + self.bh)
+        if not saw_known:
+            # No usable context: fall back to the output bias (unigram-ish).
+            logits = self.by
+        else:
+            logits = h @ self.Why + self.by
+        top = np.argsort(-logits)[:k]
+        return [self._vocab[i] for i in top]

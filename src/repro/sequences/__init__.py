@@ -1,0 +1,33 @@
+"""Sequence construction: binning, sessionization, stay points, databases."""
+
+from .database import (
+    SequenceDatabase,
+    build_all_databases,
+    build_user_database,
+    is_subsequence,
+)
+from .items import Labeler, TimedItem, item_formatter, make_labeler
+from .sessions import DailySession, sessionize_dataset, sessionize_user
+from .staypoints import Fix, StayPoint, detect_stay_points
+from .timebins import FOUR_HOURLY, HOURLY, TWO_HOURLY, TimeBinning
+
+__all__ = [
+    "DailySession",
+    "FOUR_HOURLY",
+    "Fix",
+    "HOURLY",
+    "Labeler",
+    "SequenceDatabase",
+    "StayPoint",
+    "TWO_HOURLY",
+    "TimeBinning",
+    "TimedItem",
+    "build_all_databases",
+    "build_user_database",
+    "detect_stay_points",
+    "is_subsequence",
+    "item_formatter",
+    "make_labeler",
+    "sessionize_dataset",
+    "sessionize_user",
+]

@@ -1,0 +1,147 @@
+"""The sequence database handed to the miners.
+
+A :class:`SequenceDatabase` is an ordered collection of item sequences — for
+CrowdWeb, one sequence per user-day.  Support here always means *relative*
+support: the fraction of sequences containing a pattern as a (not
+necessarily contiguous) subsequence, matching the paper's
+``min_support ∈ {0.25, 0.5, 0.75}`` sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from ..data.records import CheckInDataset
+from ..taxonomy import AbstractionLevel, CategoryTree
+from .items import Labeler, TimedItem, make_labeler
+from .sessions import DailySession, sessionize_dataset, sessionize_user
+from .timebins import HOURLY, TimeBinning
+
+__all__ = [
+    "SequenceDatabase",
+    "is_subsequence",
+    "build_user_database",
+    "build_all_databases",
+]
+
+Item = TypeVar("Item", bound=Hashable)
+
+
+def is_subsequence(pattern: Sequence, sequence: Sequence) -> bool:
+    """True when ``pattern`` occurs in ``sequence`` preserving order
+    (gaps allowed).  The empty pattern occurs in every sequence."""
+    it = iter(sequence)
+    return all(any(item == candidate for candidate in it) for item in pattern)
+
+
+class SequenceDatabase(Generic[Item]):
+    """An immutable list of sequences with support queries."""
+
+    def __init__(self, sequences: Iterable[Sequence[Item]], name: str = "seqdb") -> None:
+        self.name = name
+        self._sequences: Tuple[Tuple[Item, ...], ...] = tuple(
+            tuple(seq) for seq in sequences
+        )
+
+    # ------------------------------------------------------------- protocol
+
+    def __len__(self) -> int:
+        return len(self._sequences)
+
+    def __iter__(self) -> Iterator[Tuple[Item, ...]]:
+        return iter(self._sequences)
+
+    def __getitem__(self, i: int) -> Tuple[Item, ...]:
+        return self._sequences[i]
+
+    @property
+    def sequences(self) -> Tuple[Tuple[Item, ...], ...]:
+        return self._sequences
+
+    # -------------------------------------------------------------- queries
+
+    def support_count(self, pattern: Sequence[Item]) -> int:
+        """Number of sequences containing ``pattern`` as a subsequence."""
+        return sum(1 for seq in self._sequences if is_subsequence(pattern, seq))
+
+    def support(self, pattern: Sequence[Item]) -> float:
+        """Relative support in [0, 1]; 0 for an empty database."""
+        if not self._sequences:
+            return 0.0
+        return self.support_count(pattern) / len(self._sequences)
+
+    def item_frequencies(self) -> Dict[Item, int]:
+        """Per-item sequence frequency (each sequence counts an item once)."""
+        freq: Dict[Item, int] = {}
+        for seq in self._sequences:
+            for item in set(seq):
+                freq[item] = freq.get(item, 0) + 1
+        return freq
+
+    def alphabet(self) -> List[Item]:
+        """All distinct items, in deterministic sorted order."""
+        return sorted({item for seq in self._sequences for item in seq})
+
+    def total_items(self) -> int:
+        return sum(len(seq) for seq in self._sequences)
+
+    def avg_sequence_length(self) -> float:
+        if not self._sequences:
+            return 0.0
+        return self.total_items() / len(self._sequences)
+
+    def min_count(self, min_support: float) -> int:
+        """Absolute sequence count a pattern needs to reach ``min_support``.
+
+        A pattern is frequent when ``count >= ceil(min_support * n)`` with a
+        floor of one sequence.
+        """
+        if not (0.0 < min_support <= 1.0):
+            raise ValueError("min_support must be in (0, 1]")
+        import math
+
+        return max(1, math.ceil(min_support * len(self._sequences)))
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceDatabase({self.name!r}: {len(self._sequences)} sequences, "
+            f"{self.total_items()} items)"
+        )
+
+
+def build_user_database(
+    dataset: CheckInDataset,
+    user_id: str,
+    taxonomy: CategoryTree,
+    level: AbstractionLevel = AbstractionLevel.ROOT,
+    binning: TimeBinning = HOURLY,
+    min_items: int = 1,
+    day_kind: str = "all",
+) -> SequenceDatabase[TimedItem]:
+    """One user's day-per-sequence database at an abstraction level."""
+    labeler = make_labeler(taxonomy, level)
+    sessions = sessionize_user(dataset, user_id, labeler, binning,
+                               min_items=min_items, day_kind=day_kind)
+    return SequenceDatabase(
+        (s.items for s in sessions), name=f"{dataset.name}/{user_id}/{level.value}"
+    )
+
+
+def build_all_databases(
+    dataset: CheckInDataset,
+    taxonomy: CategoryTree,
+    level: AbstractionLevel = AbstractionLevel.ROOT,
+    binning: TimeBinning = HOURLY,
+    min_items: int = 1,
+    day_kind: str = "all",
+) -> Dict[str, SequenceDatabase[TimedItem]]:
+    """Per-user sequence databases for every user in the dataset."""
+    labeler = make_labeler(taxonomy, level)
+    sessions_by_user = sessionize_dataset(dataset, labeler, binning,
+                                          min_items=min_items, day_kind=day_kind)
+    return {
+        uid: SequenceDatabase(
+            (s.items for s in sessions), name=f"{dataset.name}/{uid}/{level.value}"
+        )
+        for uid, sessions in sessions_by_user.items()
+    }

@@ -1,0 +1,89 @@
+"""Stay-point detection for raw GPS-style traces (Li et al., 2008).
+
+Check-in data is already venue-anchored, but the DBSCAN+RNN prediction
+baseline (paper ref [10]) and any future GPS ingestion need the classic
+stay-point extraction: a stay point is the centroid of a maximal run of
+fixes that stays within ``distance_threshold_m`` of its first fix for at
+least ``time_threshold_s`` seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import List, Sequence, Tuple
+
+from ..geo import GeoPoint, centroid, haversine_m
+
+__all__ = ["Fix", "StayPoint", "detect_stay_points"]
+
+
+@dataclass(frozen=True, order=True)
+class Fix:
+    """One timestamped GPS fix."""
+
+    timestamp: datetime
+    lat: float
+    lon: float
+
+    @property
+    def point(self) -> GeoPoint:
+        return GeoPoint(self.lat, self.lon)
+
+
+@dataclass(frozen=True)
+class StayPoint:
+    """A dwell: where the user lingered, and for how long."""
+
+    location: GeoPoint
+    arrival: datetime
+    departure: datetime
+    n_fixes: int
+
+    @property
+    def duration_s(self) -> float:
+        return (self.departure - self.arrival).total_seconds()
+
+
+def detect_stay_points(
+    fixes: Sequence[Fix],
+    distance_threshold_m: float = 200.0,
+    time_threshold_s: float = 20 * 60.0,
+) -> List[StayPoint]:
+    """Extract stay points from a chronologically sorted trace.
+
+    The classic two-pointer sweep: anchor at fix ``i``, extend ``j`` while
+    every fix stays within the distance threshold of the anchor; if the
+    dwell time ``t_j - t_i`` exceeds the time threshold, emit the centroid.
+    """
+    if distance_threshold_m <= 0 or time_threshold_s <= 0:
+        raise ValueError("thresholds must be positive")
+    ordered = list(fixes)
+    if any(ordered[i].timestamp > ordered[i + 1].timestamp for i in range(len(ordered) - 1)):
+        raise ValueError("fixes must be sorted by timestamp")
+
+    stay_points: List[StayPoint] = []
+    n = len(ordered)
+    i = 0
+    while i < n:
+        anchor = ordered[i]
+        j = i + 1
+        while j < n and haversine_m(anchor.lat, anchor.lon, ordered[j].lat, ordered[j].lon) <= distance_threshold_m:
+            j += 1
+        # Fixes i .. j-1 are within range of the anchor.
+        last = ordered[j - 1]
+        dwell = (last.timestamp - anchor.timestamp).total_seconds()
+        if dwell >= time_threshold_s:
+            cluster = ordered[i:j]
+            stay_points.append(
+                StayPoint(
+                    location=centroid(f.point for f in cluster),
+                    arrival=anchor.timestamp,
+                    departure=last.timestamp,
+                    n_fixes=len(cluster),
+                )
+            )
+            i = j
+        else:
+            i += 1
+    return stay_points

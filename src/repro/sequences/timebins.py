@@ -1,0 +1,83 @@
+"""Time-of-day binning for pattern items and crowd windows.
+
+CrowdWeb annotates every visit with a coarse time-of-day bin ("9–10 am") and
+aligns crowds on those bins.  ``TimeBinning`` maps local hours to bin
+indexes; bins are half-open ``[start, end)`` and tile the 24-hour day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Iterator, List, Tuple
+
+__all__ = ["TimeBinning", "HOURLY", "TWO_HOURLY", "FOUR_HOURLY"]
+
+
+@dataclass(frozen=True)
+class TimeBinning:
+    """Partition the day into equal bins of ``width_hours``.
+
+    ``width_hours`` must divide 24 evenly so bins tile the day exactly.
+    """
+
+    width_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width_hours <= 0:
+            raise ValueError("bin width must be positive")
+        n = 24.0 / self.width_hours
+        if abs(n - round(n)) > 1e-9:
+            raise ValueError(f"bin width {self.width_hours} must divide 24 evenly")
+
+    @property
+    def n_bins(self) -> int:
+        return round(24.0 / self.width_hours)
+
+    def bin_of_hour(self, hour: float) -> int:
+        """Bin index of a local hour in [0, 24)."""
+        if not (0.0 <= hour < 24.0):
+            raise ValueError(f"hour {hour} out of range [0, 24)")
+        return min(int(hour / self.width_hours), self.n_bins - 1)
+
+    def bin_of(self, local_time: datetime) -> int:
+        """Bin index of a datetime's local time-of-day."""
+        hour = local_time.hour + local_time.minute / 60.0 + local_time.second / 3600.0
+        return self.bin_of_hour(hour)
+
+    def bounds(self, bin_index: int) -> Tuple[float, float]:
+        """(start_hour, end_hour) of a bin."""
+        if not (0 <= bin_index < self.n_bins):
+            raise ValueError(f"bin index {bin_index} out of range [0, {self.n_bins})")
+        return bin_index * self.width_hours, (bin_index + 1) * self.width_hours
+
+    def label(self, bin_index: int) -> str:
+        """Human label like ``"09:00-10:00"``."""
+        start, end = self.bounds(bin_index)
+        return f"{self._fmt(start)}-{self._fmt(end)}"
+
+    @staticmethod
+    def _fmt(hour: float) -> str:
+        h = int(hour)
+        m = int(round((hour - h) * 60))
+        if m == 60:
+            h, m = h + 1, 0
+        return f"{h:02d}:{m:02d}"
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n_bins))
+
+    def all_labels(self) -> List[str]:
+        return [self.label(i) for i in self]
+
+    def distance(self, a: int, b: int) -> int:
+        """Circular distance between two bins (23:00 is next to 00:00)."""
+        d = abs(a - b)
+        return min(d, self.n_bins - d)
+
+
+#: The paper's crowd views step in one-hour windows ("9–10 am").
+HOURLY = TimeBinning(1.0)
+#: Coarser binnings used by the time-bin-width ablation.
+TWO_HOURLY = TimeBinning(2.0)
+FOUR_HOURLY = TimeBinning(4.0)

@@ -1,0 +1,54 @@
+"""Visualization: SVG chart kit, city map, place graphs, HTML reports."""
+
+from .animation_svg import render_animated_crowd
+from .charts import BarChart, Heatmap, Histogram, LineChart, ScatterChart, nice_ticks
+from .citymap import label_color_order, render_snapshot, render_venue_map
+from .graphviz import render_place_graph
+from .palette import (
+    CATEGORICAL,
+    DARK,
+    GRID,
+    LIGHT,
+    OTHER,
+    SEQUENTIAL,
+    SURFACE,
+    TEXT_MUTED,
+    TEXT_PRIMARY,
+    TEXT_SECONDARY,
+    Theme,
+    categorical_for,
+    sequential_color,
+)
+from .report import HtmlReport
+from .svg import SvgCanvas
+from .tracemap import render_trace
+
+__all__ = [
+    "BarChart",
+    "CATEGORICAL",
+    "DARK",
+    "GRID",
+    "LIGHT",
+    "Heatmap",
+    "Histogram",
+    "HtmlReport",
+    "LineChart",
+    "OTHER",
+    "SEQUENTIAL",
+    "SURFACE",
+    "ScatterChart",
+    "SvgCanvas",
+    "TEXT_MUTED",
+    "TEXT_PRIMARY",
+    "TEXT_SECONDARY",
+    "Theme",
+    "categorical_for",
+    "label_color_order",
+    "nice_ticks",
+    "render_animated_crowd",
+    "render_place_graph",
+    "render_snapshot",
+    "render_trace",
+    "render_venue_map",
+    "sequential_color",
+]

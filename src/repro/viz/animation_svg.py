@@ -1,0 +1,107 @@
+"""Animated-SVG export of the crowd movement (SMIL, no JavaScript).
+
+Renders the frame sequence of :func:`repro.crowd.build_animation` into a
+single self-contained SVG whose dots glide between their per-frame
+positions — openable in any browser, embeddable in the HTML report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+from xml.sax.saxutils import escape, quoteattr
+
+from ..crowd import AnimationFrame
+from ..geo import MicrocellGrid, ScreenProjection
+from .palette import OTHER, SURFACE, TEXT_MUTED, TEXT_PRIMARY, categorical_for
+
+__all__ = ["render_animated_crowd"]
+
+
+def render_animated_crowd(
+    frames: Sequence[AnimationFrame],
+    grid: MicrocellGrid,
+    width: float = 760.0,
+    height: float = 600.0,
+    seconds_per_frame: float = 0.35,
+    label_order: Optional[Sequence[str]] = None,
+) -> str:
+    """One looping animated SVG from precomputed animation frames.
+
+    Each user becomes a ``<circle>`` with ``animate`` elements keyed on the
+    frame timeline; users absent from a frame hold their last position at
+    zero opacity.
+    """
+    if not frames:
+        raise ValueError("need at least one animation frame")
+    if seconds_per_frame <= 0:
+        raise ValueError("seconds_per_frame must be positive")
+
+    projection = ScreenProjection(grid.bbox, width, height - 40.0, padding_px=10.0)
+    total_s = len(frames) * seconds_per_frame
+
+    # Collect every user and their per-frame (x, y, visible, label).
+    user_tracks: Dict[str, List] = {}
+    for frame in frames:
+        present = {d.user_id: d for d in frame.dots}
+        for user_id in present:
+            user_tracks.setdefault(user_id, [])
+        for user_id, track in user_tracks.items():
+            dot = present.get(user_id)
+            if dot is not None:
+                x, y = projection.to_screen(dot.lat, dot.lon)
+                track.append((x, y + 30.0, 1.0, dot.label))
+            elif track:
+                x, y, _, label = track[-1]
+                track.append((x, y, 0.0, label))
+            else:
+                track.append((0.0, 0.0, 0.0, ""))
+    # Tracks may be ragged for users first seen mid-animation; left-pad.
+    n = len(frames)
+    for track in user_tracks.values():
+        while len(track) < n:
+            x, y, _, label = track[0]
+            track.insert(0, (x, y, 0.0, label))
+
+    labels = label_order or sorted({
+        d.label for frame in frames for d in frame.dots
+    })
+    colors = categorical_for(list(labels))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:g}" '
+        f'height="{height:g}" viewBox="0 0 {width:g} {height:g}">',
+        f'<rect x="0" y="0" width="{width:g}" height="{height:g}" fill="{SURFACE}"/>',
+        f'<text x="12" y="22" fill="{TEXT_PRIMARY}" font-size="14" '
+        f'font-weight="600" font-family="system-ui, sans-serif">'
+        f'Crowd movement ({len(frames)} frames, looping)</text>',
+    ]
+
+    key_times = ";".join(f"{i / max(1, n - 1):.4f}" for i in range(n))
+    for user_id in sorted(user_tracks):
+        track = user_tracks[user_id]
+        xs = ";".join(f"{x:.1f}" for x, _, _, _ in track)
+        ys = ";".join(f"{y:.1f}" for _, y, _, _ in track)
+        opacities = ";".join(f"{o:g}" for _, _, o, _ in track)
+        last_label = next((label for _, _, o, label in reversed(track) if o), "")
+        color = colors.get(last_label, OTHER)
+        parts.append(
+            f'<circle r="5" fill={quoteattr(color)} stroke="{SURFACE}" stroke-width="2">'
+            f"<title>{escape(user_id)}</title>"
+            f'<animate attributeName="cx" dur="{total_s:g}s" repeatCount="indefinite" '
+            f'values={quoteattr(xs)} keyTimes={quoteattr(key_times)}/>'
+            f'<animate attributeName="cy" dur="{total_s:g}s" repeatCount="indefinite" '
+            f'values={quoteattr(ys)} keyTimes={quoteattr(key_times)}/>'
+            f'<animate attributeName="opacity" dur="{total_s:g}s" repeatCount="indefinite" '
+            f'values={quoteattr(opacities)} keyTimes={quoteattr(key_times)}/>'
+            f"</circle>"
+        )
+
+    # Window label ticker.
+    window_labels = ";".join(frame.window_label for frame in frames)
+    parts.append(
+        f'<text x="{width - 12:g}" y="22" fill="{TEXT_MUTED}" font-size="12" '
+        f'text-anchor="end" font-family="system-ui, sans-serif">'
+        f"{escape(frames[0].window_label)} …</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,104 @@
+"""Place-graph rendering: the individual user's "graph of visited places".
+
+Lays out a networkx place graph with a spring embedding (seeded, so the
+same profile always renders identically) and draws nodes sized by visit
+count / pattern support with edges weighted by transition frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from .palette import (
+    CATEGORICAL,
+    GRID,
+    OTHER,
+    SURFACE,
+    TEXT_PRIMARY,
+    TEXT_SECONDARY,
+    categorical_for,
+)
+from .svg import SvgCanvas
+
+__all__ = ["render_place_graph"]
+
+
+def _node_radius(value: float, vmax: float, r_min: float = 10.0, r_max: float = 26.0) -> float:
+    if vmax <= 0:
+        return r_min
+    return r_min + (r_max - r_min) * math.sqrt(min(1.0, value / vmax))
+
+
+def render_place_graph(
+    graph: nx.DiGraph,
+    width: float = 720.0,
+    height: float = 560.0,
+    title: Optional[str] = None,
+    seed: int = 42,
+) -> str:
+    """A user's place graph as SVG.
+
+    Node size encodes visits (or max pattern support × 100 for pattern
+    graphs); edge width encodes transition weight; node color is the place
+    label's fixed categorical slot.
+    """
+    canvas = SvgCanvas(width, height, background=SURFACE)
+    heading = title or f"Place graph — user {graph.graph.get('user_id', '?')}"
+    canvas.text(12, 22, heading, fill=TEXT_PRIMARY, size=14, weight="600")
+    if graph.number_of_nodes() == 0:
+        canvas.text(width / 2, height / 2, "no places visited",
+                    fill=TEXT_SECONDARY, size=13, anchor="middle")
+        return canvas.to_string()
+
+    positions = nx.spring_layout(graph, seed=seed, k=1.6 / max(1.0, math.sqrt(graph.number_of_nodes())))
+    pad = 60.0
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+
+    def to_screen(pos) -> Tuple[float, float]:
+        fx = (pos[0] - x_lo) / ((x_hi - x_lo) or 1.0)
+        fy = (pos[1] - y_lo) / ((y_hi - y_lo) or 1.0)
+        return pad + fx * (width - 2 * pad), 40.0 + pad / 2 + fy * (height - 60.0 - pad)
+
+    def node_value(attrs: Dict) -> float:
+        if "visits" in attrs:
+            return float(attrs["visits"])
+        return float(attrs.get("support", 0.0)) * 100.0
+
+    vmax = max((node_value(a) for _, a in graph.nodes(data=True)), default=1.0)
+    w_max = max((attrs.get("weight", 1.0) for _, _, attrs in graph.edges(data=True)), default=1.0)
+    colors = categorical_for(sorted(graph.nodes()))
+
+    # Edges first (under the nodes), arrowheads as short chevrons.
+    for u, v, attrs in graph.edges(data=True):
+        x1, y1 = to_screen(positions[u])
+        x2, y2 = to_screen(positions[v])
+        weight = attrs.get("weight", 1.0)
+        stroke_w = 1.0 + 3.0 * (weight / w_max)
+        canvas.line(x1, y1, x2, y2, stroke=GRID, stroke_width=stroke_w, opacity=0.9)
+        # Arrow chevron at 70% along the edge.
+        ax = x1 + (x2 - x1) * 0.7
+        ay = y1 + (y2 - y1) * 0.7
+        angle = math.atan2(y2 - y1, x2 - x1)
+        size = 6.0
+        for da in (2.6, -2.6):
+            canvas.line(ax, ay, ax - size * math.cos(angle + da),
+                        ay - size * math.sin(angle + da),
+                        stroke=TEXT_SECONDARY, stroke_width=1.2)
+
+    for node, attrs in graph.nodes(data=True):
+        x, y = to_screen(positions[node])
+        value = node_value(attrs)
+        r = _node_radius(value, vmax)
+        detail = (f"{int(attrs['visits'])} visits" if "visits" in attrs
+                  else f"support {attrs.get('support', 0):.0%}")
+        canvas.circle(x, y, r, fill=colors.get(node, OTHER), opacity=0.9,
+                      stroke=SURFACE, stroke_width=2,
+                      tooltip=f"{node}: {detail}")
+        canvas.text(x, y - r - 6, str(node), fill=TEXT_PRIMARY, size=11, anchor="middle")
+    return canvas.to_string()

@@ -1,0 +1,7 @@
+"""The CrowdWeb platform: JSON API, server-rendered pages, HTTP server."""
+
+from .api import CrowdWebAPI
+from .pages import Pages
+from .server import CrowdWebServer, route_request
+
+__all__ = ["CrowdWebAPI", "CrowdWebServer", "Pages", "route_request"]

@@ -1,0 +1,69 @@
+"""``python -m repro.web`` — run the platform on a synthetic dataset."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..data import small_dataset, synthetic_dataset
+from ..experiments import small_pipeline_config
+from ..pipeline import PipelineConfig, run_pipeline
+from .server import CrowdWebServer
+
+
+def prepare_from_profiles(dataset, config: PipelineConfig, profiles_path):
+    """Build a :class:`PipelineResult` from persisted profiles — skips the
+    expensive mining phase entirely."""
+    from ..crowd import CrowdAggregator
+    from ..data import preprocess
+    from ..geo import MicrocellGrid
+    from ..persistence import load_profiles
+    from ..pipeline import PipelineResult
+    from ..taxonomy import build_default_taxonomy
+
+    taxonomy = build_default_taxonomy()
+    profiles = load_profiles(profiles_path)
+    filtered, report = preprocess(dataset, config.window_months, config.activity)
+    grid = MicrocellGrid(filtered.bounding_box().expand(0.002), config.cell_size_m)
+    aggregator = CrowdAggregator(profiles, filtered, grid, taxonomy,
+                                 binning=config.binning)
+    return PipelineResult(
+        dataset=filtered, report=report, profiles=profiles, grid=grid,
+        aggregator=aggregator, timeline=aggregator.timeline(),
+        taxonomy=taxonomy, config=config,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Serve the CrowdWeb platform")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8460)
+    parser.add_argument("--scale", choices=["small", "paper"], default="small",
+                        help="synthetic dataset size (paper scale takes ~30 s to prepare)")
+    parser.add_argument("--profiles", default=None,
+                        help="load mined profiles from a save_profiles() JSON "
+                             "instead of re-mining (phases 1-2 are skipped)")
+    args = parser.parse_args(argv)
+
+    if args.scale == "paper":
+        dataset = synthetic_dataset()
+        config = PipelineConfig()
+    else:
+        dataset = small_dataset()
+        config = small_pipeline_config()
+    print(f"preparing pipeline on {dataset!r} ...")
+    if args.profiles:
+        result = prepare_from_profiles(dataset, config, args.profiles)
+        print(f"loaded {result.n_users} profiles from {args.profiles}")
+    else:
+        result = run_pipeline(dataset, config)
+    server = CrowdWebServer(result, host=args.host, port=args.port)
+    print(f"CrowdWeb serving {result.n_users} users at {server.url}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

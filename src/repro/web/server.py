@@ -1,0 +1,160 @@
+"""The HTTP layer of the platform: stdlib server over API + pages.
+
+Routes
+------
+==========================  =======================================
+``GET /``                   dashboard (preprocess summary, occupancy)
+``GET /users``              user directory
+``GET /user/<id>``          one user's patterns + place graph
+``GET /city?window=<i>``    the crowd at one time window
+``GET /animation``          the automated crowd-movement animation
+``GET /api/users``          JSON user list
+``GET /api/user/<id>``      JSON profile
+``GET /api/crowd/<i>``      JSON snapshot
+``GET /api/crowd``          JSON occupancy summary
+``GET /api/flows/<i>``      JSON flows window i → i+1
+``GET /api/animation``      JSON animation frames
+``GET /api/stats``          JSON dataset statistics
+``GET /api/occupancy``      JSON per-cell occupancy across all windows
+``GET /api/communities``    JSON behavioural communities (?min_similarity=)
+``GET /api/metrics/<id>``   JSON mobility analytics for one user
+==========================  =======================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from ..pipeline import PipelineResult
+from .api import CrowdWebAPI
+from .pages import Pages
+
+__all__ = ["CrowdWebServer", "route_request"]
+
+
+def route_request(api: CrowdWebAPI, pages: Pages, path: str) -> Tuple[int, str, str]:
+    """Dispatch one GET request path → (status, content_type, body).
+
+    Pure function (no sockets) so the whole routing table is unit-testable.
+    """
+    parsed = urlparse(path)
+    segments = [s for s in parsed.path.split("/") if s]
+    query = parse_qs(parsed.query)
+
+    def ok_json(payload) -> Tuple[int, str, str]:
+        return 200, "application/json", json.dumps(payload)
+
+    def ok_html(body: str) -> Tuple[int, str, str]:
+        return 200, "text/html; charset=utf-8", body
+
+    def not_found(message: str = "not found") -> Tuple[int, str, str]:
+        return 404, "application/json", json.dumps({"error": message})
+
+    try:
+        if not segments:
+            return ok_html(pages.home())
+        if segments[0] == "users":
+            return ok_html(pages.users())
+        if segments[0] == "user" and len(segments) == 2:
+            page = pages.user(segments[1])
+            return ok_html(page) if page is not None else not_found(f"user {segments[1]}")
+        if segments[0] == "city":
+            window = int(query.get("window", ["9"])[0])
+            return ok_html(pages.city(window))
+        if segments[0] == "animation":
+            return ok_html(pages.animation())
+        if segments[0] == "occupancy":
+            return ok_html(pages.occupancy())
+        if segments[0] == "communities":
+            return ok_html(pages.communities())
+        if segments[0] == "analytics":
+            return ok_html(pages.analytics())
+        if segments[0] == "api":
+            if len(segments) == 2 and segments[1] == "users":
+                return ok_json(api.users())
+            if len(segments) == 3 and segments[1] == "user":
+                payload = api.user(segments[2])
+                return ok_json(payload) if payload is not None else not_found(
+                    f"user {segments[2]}"
+                )
+            if len(segments) == 2 and segments[1] == "crowd":
+                return ok_json(api.crowd_summary())
+            if len(segments) == 3 and segments[1] == "crowd":
+                return ok_json(api.crowd(int(segments[2])))
+            if len(segments) == 3 and segments[1] == "flows":
+                return ok_json(api.flows(int(segments[2])))
+            if len(segments) == 2 and segments[1] == "animation":
+                return ok_json(api.animation())
+            if len(segments) == 2 and segments[1] == "stats":
+                return ok_json(api.stats())
+            if len(segments) == 2 and segments[1] == "occupancy":
+                return ok_json(api.occupancy())
+            if len(segments) == 2 and segments[1] == "communities":
+                min_similarity = float(query.get("min_similarity", ["0.05"])[0])
+                return ok_json(api.communities(min_similarity))
+            if len(segments) == 2 and segments[1] == "spikes":
+                z = float(query.get("z", ["4.0"])[0])
+                return ok_json(api.spikes(z))
+            if len(segments) == 3 and segments[1] == "metrics":
+                payload = api.user_metrics(segments[2])
+                return ok_json(payload) if payload is not None else not_found(
+                    f"metrics for {segments[2]}"
+                )
+        return not_found(parsed.path)
+    except (ValueError, IndexError) as exc:
+        return 400, "application/json", json.dumps({"error": str(exc)})
+
+
+class CrowdWebServer:
+    """The platform server.  ``serve_forever`` blocks; ``start`` runs in a
+    daemon thread (used by tests and the examples)."""
+
+    def __init__(self, result: PipelineResult, host: str = "127.0.0.1", port: int = 8460) -> None:
+        self.api = CrowdWebAPI(result)
+        self.pages = Pages(result)
+        api, pages = self.api, self.pages
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+                status, content_type, body = route_request(api, pages, self.path)
+                payload = body.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, format: str, *args) -> None:
+                pass  # quiet by default; the CLI prints the URL once
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "CrowdWebServer":
+        """Serve in a background daemon thread (returns immediately)."""
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

@@ -1,0 +1,203 @@
+"""Tests for the mobility-analytics metrics."""
+
+import math
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.analysis import (
+    jump_lengths_m,
+    lz_entropy_estimate,
+    max_predictability,
+    radius_of_gyration_m,
+    random_entropy,
+    regularity_by_hour,
+    uncorrelated_entropy,
+    user_mobility_metrics,
+    visitation_frequencies,
+)
+from repro.data import CheckIn, CheckInDataset
+from repro.geo import GeoPoint
+
+UTC = timezone.utc
+
+
+class TestRadiusOfGyration:
+    def test_single_point_zero(self):
+        # Centroid round-trips through spherical coordinates, so allow
+        # sub-millimeter floating error.
+        assert radius_of_gyration_m([GeoPoint(40.7, -74.0)]) == pytest.approx(0.0, abs=1e-3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            radius_of_gyration_m([])
+
+    def test_two_points_half_distance(self):
+        a, b = GeoPoint(40.70, -74.00), GeoPoint(40.80, -74.00)
+        rg = radius_of_gyration_m([a, b])
+        assert rg == pytest.approx(a.distance_to(b) / 2, rel=1e-3)
+
+    def test_tight_cluster_small(self):
+        pts = [GeoPoint(40.7 + i * 1e-5, -74.0) for i in range(10)]
+        assert radius_of_gyration_m(pts) < 50
+
+
+class TestJumps:
+    def test_lengths(self):
+        pts = [GeoPoint(40.7, -74.0), GeoPoint(40.7, -74.0), GeoPoint(40.8, -74.0)]
+        jumps = jump_lengths_m(pts)
+        assert len(jumps) == 2
+        assert jumps[0] == 0.0
+        assert jumps[1] > 10_000
+
+
+class TestVisitation:
+    def test_zipf_profile(self):
+        freqs = visitation_frequencies(["home"] * 6 + ["work"] * 3 + ["gym"])
+        assert freqs[0] == ("home", 0.6)
+        assert freqs[1] == ("work", 0.3)
+        assert sum(share for _, share in freqs) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert visitation_frequencies([]) == []
+
+
+class TestEntropies:
+    def test_random_entropy(self):
+        assert random_entropy(1) == 0.0
+        assert random_entropy(8) == 3.0
+        with pytest.raises(ValueError):
+            random_entropy(0)
+
+    def test_uncorrelated_uniform(self):
+        assert uncorrelated_entropy(["a", "b", "c", "d"]) == pytest.approx(2.0)
+
+    def test_uncorrelated_deterministic(self):
+        assert uncorrelated_entropy(["a"] * 10) == 0.0
+
+    def test_uncorrelated_bounded_by_random(self):
+        labels = ["a"] * 5 + ["b"] * 3 + ["c"] * 2
+        assert uncorrelated_entropy(labels) <= random_entropy(3) + 1e-9
+
+    def test_uncorrelated_empty_raises(self):
+        with pytest.raises(ValueError):
+            uncorrelated_entropy([])
+
+    def test_lz_low_for_periodic(self):
+        periodic = ["a", "b"] * 30
+        noisy = [str(i % 17 * 7 % 13) for i in range(60)]
+        assert lz_entropy_estimate(periodic) < lz_entropy_estimate(noisy)
+
+    def test_lz_short_raises(self):
+        with pytest.raises(ValueError):
+            lz_entropy_estimate(["a"])
+
+
+class TestPredictability:
+    def test_zero_entropy_fully_predictable(self):
+        assert max_predictability(0.0, 10) == 1.0
+
+    def test_single_location(self):
+        assert max_predictability(1.0, 1) == 1.0
+
+    def test_saturated_entropy_uniform_bound(self):
+        assert max_predictability(random_entropy(8), 8) == pytest.approx(1 / 8, abs=1e-6)
+
+    def test_song_regime(self):
+        """Song et al.: S≈0.8 bits over N≈50 locations → Π_max ≈ 0.93."""
+        pi = max_predictability(0.8, 50)
+        assert 0.88 <= pi <= 0.96
+
+    def test_monotone_in_entropy(self):
+        assert max_predictability(0.5, 20) > max_predictability(2.0, 20)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            max_predictability(1.0, 0)
+
+
+class TestUserMetrics:
+    def make_dataset(self):
+        records = []
+        venues = ["home", "work", "home", "thai", "home", "work"] * 5
+        for i, venue in enumerate(venues):
+            records.append(CheckIn(
+                user_id="u", venue_id=venue, category_id="", category_name=venue,
+                lat=40.7 + hash(venue) % 10 * 0.001, lon=-74.0, tz_offset_min=0,
+                timestamp=datetime(2012, 4, 1, tzinfo=UTC) + timedelta(hours=3 * i),
+            ))
+        return CheckInDataset(records)
+
+    def test_bundle(self):
+        metrics = user_mobility_metrics(self.make_dataset(), "u")
+        assert metrics.n_checkins == 30
+        assert metrics.n_distinct_venues == 3
+        assert metrics.top_location_share == pytest.approx(0.5)
+        assert metrics.s_uncorrelated <= metrics.s_random
+        assert 0.0 < metrics.predictability_bound <= 1.0
+
+    def test_regular_user_highly_predictable(self):
+        metrics = user_mobility_metrics(self.make_dataset(), "u")
+        # A strictly periodic routine should be near the top of the bound.
+        assert metrics.predictability_bound > 0.6
+
+    def test_too_few_records_raises(self):
+        ds = self.make_dataset()
+        with pytest.raises(ValueError):
+            user_mobility_metrics(ds, "ghost")
+
+
+class TestRegularity:
+    def test_by_hour(self):
+        records = []
+        for day in range(1, 11):
+            # Always home at 8, alternating lunch venues at 12.
+            records.append(CheckIn(
+                user_id="u", venue_id="home", category_id="", category_name="Home",
+                lat=40.7, lon=-74.0, tz_offset_min=0,
+                timestamp=datetime(2012, 4, day, 8, 0, tzinfo=UTC)))
+            records.append(CheckIn(
+                user_id="u", venue_id=f"thai-{day % 2}", category_id="",
+                category_name="Thai", lat=40.71, lon=-74.0, tz_offset_min=0,
+                timestamp=datetime(2012, 4, day, 12, 0, tzinfo=UTC)))
+        ds = CheckInDataset(records)
+        regularity = regularity_by_hour(ds, "u")
+        assert regularity[8] == 1.0   # always at the top venue at 8
+        assert regularity[12] == 0.0  # never at the top venue at noon
+
+    def test_unknown_user(self, small_ds):
+        assert regularity_by_hour(small_ds, "ghost") == {}
+
+
+class TestZipfFit:
+    def test_exact_power_law_recovered(self):
+        from repro.analysis import fit_zipf_exponent
+
+        zeta = 1.2
+        freqs = [(f"v{k}", k ** (-zeta)) for k in range(1, 30)]
+        assert fit_zipf_exponent(freqs) == pytest.approx(zeta, abs=1e-6)
+
+    def test_uniform_distribution_zero_exponent(self):
+        from repro.analysis import fit_zipf_exponent
+
+        freqs = [(f"v{k}", 0.1) for k in range(10)]
+        assert fit_zipf_exponent(freqs) == pytest.approx(0.0, abs=1e-9)
+
+    def test_too_few_raises(self):
+        from repro.analysis import fit_zipf_exponent
+
+        with pytest.raises(ValueError):
+            fit_zipf_exponent([("a", 0.6), ("b", 0.4)])
+
+    def test_nonpositive_share_raises(self):
+        from repro.analysis import fit_zipf_exponent
+
+        with pytest.raises(ValueError):
+            fit_zipf_exponent([("a", 0.5), ("b", 0.5), ("c", 0.0)])
+
+    def test_synthetic_user_has_positive_exponent(self, small_ds):
+        from repro.analysis import fit_zipf_exponent, visitation_frequencies
+
+        uid = max(small_ds.user_ids(), key=lambda u: len(small_ds.for_user(u)))
+        freqs = visitation_frequencies([c.venue_id for c in small_ds.for_user(uid)])
+        assert fit_zipf_exponent(freqs) > 0.3

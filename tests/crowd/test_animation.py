@@ -1,0 +1,81 @@
+"""Tests for the crowd-movement animation."""
+
+import pytest
+
+from repro.crowd import CrowdSnapshot, TimeWindow, UserPlacement, build_animation
+from repro.crowd.aggregate import CrowdTimeline
+from repro.geo import BoundingBox, MicrocellGrid
+from repro.sequences import HOURLY
+
+
+def placement(user, lat, lon, bin_=9, label="Eatery"):
+    return UserPlacement(
+        user_id=user, bin=bin_, label=label, support=0.7,
+        cell=(0, 0), venue_id="v", lat=lat, lon=lon, n_evidence=3,
+    )
+
+
+@pytest.fixture
+def timeline():
+    grid = MicrocellGrid(BoundingBox(40.0, -75.0, 41.0, -74.0), 5000.0)
+    a = CrowdSnapshot(
+        window=TimeWindow(9, 10, HOURLY),
+        placements=(placement("mover", 40.2, -74.8), placement("stayer", 40.5, -74.5)),
+        grid=grid,
+    )
+    b = CrowdSnapshot(
+        window=TimeWindow(10, 11, HOURLY),
+        placements=(placement("mover", 40.6, -74.2, 10), placement("stayer", 40.5, -74.5, 10)),
+        grid=grid,
+    )
+    return CrowdTimeline(snapshots=(a, b))
+
+
+class TestAnimation:
+    def test_frame_count(self, timeline):
+        frames = build_animation(timeline, steps_per_transition=4)
+        # 4 transition frames + final resting frame.
+        assert len(frames) == 5
+
+    def test_interpolation_endpoints(self, timeline):
+        frames = build_animation(timeline, steps_per_transition=4)
+        mover_start = next(d for d in frames[0].dots if d.user_id == "mover")
+        assert mover_start.lat == pytest.approx(40.2)
+        mover_final = next(d for d in frames[-1].dots if d.user_id == "mover")
+        assert mover_final.lat == pytest.approx(40.6)
+
+    def test_interpolation_is_linear(self, timeline):
+        frames = build_animation(timeline, steps_per_transition=4)
+        mover_mid = next(d for d in frames[2].dots if d.user_id == "mover")
+        assert mover_mid.lat == pytest.approx(40.2 + (40.6 - 40.2) * 0.5)
+
+    def test_stationary_user_not_marked_moving(self, timeline):
+        frames = build_animation(timeline, steps_per_transition=4)
+        for frame in frames:
+            stayer = next(d for d in frame.dots if d.user_id == "stayer")
+            assert not stayer.moving
+
+    def test_mover_flagged_while_in_transit(self, timeline):
+        frames = build_animation(timeline, steps_per_transition=4)
+        in_transit = next(d for d in frames[2].dots if d.user_id == "mover")
+        assert in_transit.moving
+
+    def test_label_switches_midway(self, timeline):
+        frames = build_animation(timeline, steps_per_transition=4)
+        early = next(d for d in frames[1].dots if d.user_id == "mover")
+        late = next(d for d in frames[3].dots if d.user_id == "mover")
+        assert early.label == "Eatery"
+        assert late.label == "Eatery"
+
+    def test_empty_timeline(self):
+        assert build_animation(CrowdTimeline(snapshots=()), 3) == []
+
+    def test_invalid_steps(self, timeline):
+        with pytest.raises(ValueError):
+            build_animation(timeline, steps_per_transition=0)
+
+    def test_to_dict(self, timeline):
+        frames = build_animation(timeline, steps_per_transition=2)
+        payload = frames[0].to_dict()
+        assert payload["window"] == "09:00-10:00"
+        assert len(payload["dots"]) == 2

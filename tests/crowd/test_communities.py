@@ -1,0 +1,121 @@
+"""Tests for behavioural community detection (label propagation)."""
+
+import networkx as nx
+import pytest
+
+from repro.crowd import (
+    build_similarity_graph,
+    detect_communities,
+    label_propagation,
+)
+from repro.mining import SequentialPattern
+from repro.patterns import UserPatternProfile
+from repro.sequences import TimedItem
+
+
+def profile(user_id, items):
+    patterns = tuple(
+        SequentialPattern(items=(TimedItem(b, l),), count=5, support=0.5)
+        for b, l in items
+    )
+    return UserPatternProfile(user_id=user_id, patterns=patterns, n_days=10)
+
+
+@pytest.fixture
+def two_cliques():
+    """Two behavioural groups: office workers vs night owls."""
+    office = [(9, "Work"), (12, "Eatery")]
+    night = [(21, "Nightlife"), (23, "Residence")]
+    return {
+        "w1": profile("w1", office),
+        "w2": profile("w2", office),
+        "w3": profile("w3", office + [(17, "Shops")]),
+        "n1": profile("n1", night),
+        "n2": profile("n2", night),
+    }
+
+
+class TestSimilarityGraph:
+    def test_structure(self, two_cliques):
+        graph = build_similarity_graph(two_cliques, min_similarity=0.3)
+        assert set(graph.nodes) == set(two_cliques)
+        assert graph.has_edge("w1", "w2")
+        assert graph.has_edge("n1", "n2")
+        assert not graph.has_edge("w1", "n1")
+        assert graph["w1"]["w2"]["weight"] == 1.0
+
+    def test_threshold(self, two_cliques):
+        loose = build_similarity_graph(two_cliques, min_similarity=0.0)
+        tight = build_similarity_graph(two_cliques, min_similarity=0.9)
+        assert loose.number_of_edges() >= tight.number_of_edges()
+
+    def test_invalid_threshold(self, two_cliques):
+        with pytest.raises(ValueError):
+            build_similarity_graph(two_cliques, min_similarity=1.5)
+
+
+class TestLabelPropagation:
+    def test_two_components_two_labels(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=1.0)
+        graph.add_edge("b", "c", weight=1.0)
+        graph.add_edge("x", "y", weight=1.0)
+        labels = label_propagation(graph)
+        assert labels["a"] == labels["b"] == labels["c"]
+        assert labels["x"] == labels["y"]
+        assert labels["a"] != labels["x"]
+
+    def test_isolated_node_keeps_own_label(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=1.0)
+        graph.add_node("loner")
+        labels = label_propagation(graph)
+        assert labels["loner"] not in (labels["a"],)
+
+    def test_deterministic(self):
+        graph = nx.karate_club_graph()
+        assert label_propagation(graph, seed=3) == label_propagation(graph, seed=3)
+
+    def test_weight_dominates(self):
+        # b is pulled toward the heavy edge.
+        graph = nx.Graph()
+        graph.add_edge("a", "b", weight=5.0)
+        graph.add_edge("b", "c", weight=0.1)
+        graph.add_edge("c", "d", weight=0.1)
+        labels = label_propagation(graph)
+        assert labels["a"] == labels["b"]
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            label_propagation(nx.Graph(), max_iterations=0)
+
+
+class TestDetectCommunities:
+    def test_recovers_behavioural_groups(self, two_cliques):
+        communities = detect_communities(two_cliques, min_similarity=0.3)
+        by_user = {}
+        for community in communities:
+            for uid in community.user_ids:
+                by_user[uid] = community.community_id
+        assert by_user["w1"] == by_user["w2"]
+        assert by_user["n1"] == by_user["n2"]
+        assert by_user["w1"] != by_user["n1"]
+
+    def test_largest_first_and_contiguous_ids(self, two_cliques):
+        communities = detect_communities(two_cliques, min_similarity=0.3)
+        sizes = [c.size for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+        assert [c.community_id for c in communities] == list(range(len(communities)))
+
+    def test_min_size_filters(self, two_cliques):
+        communities = detect_communities(two_cliques, min_similarity=0.3, min_size=3)
+        assert all(c.size >= 3 for c in communities)
+
+    def test_invalid_min_size(self, two_cliques):
+        with pytest.raises(ValueError):
+            detect_communities(two_cliques, min_size=0)
+
+    def test_on_pipeline_profiles(self, pipeline_result):
+        communities = detect_communities(pipeline_result.profiles, min_similarity=0.05)
+        covered = [uid for c in communities for uid in c.user_ids]
+        assert sorted(covered) == sorted(pipeline_result.profiles)

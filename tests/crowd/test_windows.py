@@ -1,0 +1,75 @@
+"""Tests for time windows and rescaling."""
+
+import pytest
+
+from repro.crowd import TimeWindow, rescale, windows_for
+from repro.sequences import HOURLY, TWO_HOURLY
+
+
+class TestTimeWindow:
+    def test_valid(self):
+        w = TimeWindow(9, 10, HOURLY)
+        assert w.start_hour == 9.0
+        assert w.end_hour == 10.0
+        assert w.label == "09:00-10:00"
+        assert list(w) == [9]
+
+    def test_multi_bin(self):
+        w = TimeWindow(8, 12, HOURLY)
+        assert w.label == "08:00-12:00"
+        assert list(w.bins) == [8, 9, 10, 11]
+        assert w.contains_bin(11)
+        assert not w.contains_bin(12)
+
+    @pytest.mark.parametrize("start,end", [(-1, 5), (5, 5), (10, 9), (23, 25)])
+    def test_invalid(self, start, end):
+        with pytest.raises(ValueError):
+            TimeWindow(start, end, HOURLY)
+
+
+class TestWindowsFor:
+    def test_hourly_tiling(self):
+        windows = windows_for(HOURLY)
+        assert len(windows) == 24
+        assert windows[0].start_bin == 0
+        assert windows[-1].end_bin == 24
+        for a, b in zip(windows, windows[1:]):
+            assert a.end_bin == b.start_bin
+
+    def test_grouped(self):
+        windows = windows_for(HOURLY, bins_per_window=3)
+        assert len(windows) == 8
+        assert windows[3].label == "09:00-12:00"
+
+    def test_untileable_raises(self):
+        with pytest.raises(ValueError):
+            windows_for(HOURLY, bins_per_window=5)
+        with pytest.raises(ValueError):
+            windows_for(HOURLY, bins_per_window=0)
+
+
+class TestRescale:
+    def test_merge(self):
+        windows = windows_for(HOURLY)
+        merged = rescale(windows, 4)
+        assert len(merged) == 6
+        assert merged[0].label == "00:00-04:00"
+        assert merged[-1].label == "20:00-24:00"
+
+    def test_factor_one_identity(self):
+        windows = windows_for(TWO_HOURLY)
+        assert rescale(windows, 1) == list(windows)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            rescale(windows_for(HOURLY), 5)
+
+    def test_non_consecutive_raises(self):
+        windows = windows_for(HOURLY)
+        shuffled = [windows[0], windows[2]]
+        with pytest.raises(ValueError):
+            rescale(shuffled, 2)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            rescale(windows_for(HOURLY), 0)

@@ -1,0 +1,112 @@
+"""Fuzz/property tests for dataset I/O: malformed input must fail loudly
+(ValueError with location info), never crash with anything else; valid
+records must round-trip faithfully through every format."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CheckIn,
+    CheckInDataset,
+    load_dataset,
+    read_csv,
+    read_foursquare_tsv,
+    read_jsonl,
+    save_dataset,
+)
+
+UTC = timezone.utc
+
+# Identifier-ish text without the characters that delimit any format.
+ident = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"),
+        whitelist_characters="-_",
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+checkins = st.builds(
+    CheckIn,
+    user_id=ident,
+    venue_id=ident,
+    category_id=ident,
+    category_name=ident,
+    lat=st.floats(min_value=-89.0, max_value=89.0),
+    lon=st.floats(min_value=-179.0, max_value=179.0),
+    tz_offset_min=st.integers(min_value=-720, max_value=720),
+    timestamp=st.integers(min_value=0, max_value=3 * 10**9).map(
+        lambda s: datetime(2012, 1, 1, tzinfo=UTC) + timedelta(seconds=s % (300 * 86400))
+    ),
+)
+
+datasets = st.lists(checkins, min_size=1, max_size=12).map(CheckInDataset)
+
+
+class TestRoundtripProperty:
+    @pytest.mark.parametrize("ext", [".tsv", ".csv", ".jsonl"])
+    @given(ds=datasets)
+    @settings(max_examples=25, deadline=None)
+    def test_random_datasets_roundtrip(self, ds, ext, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz") / f"data{ext}"
+        save_dataset(ds, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(ds)
+        for a, b in zip(ds, loaded):
+            assert a.user_id == b.user_id
+            assert a.venue_id == b.venue_id
+            assert a.lat == pytest.approx(b.lat, abs=1e-7)
+            # TSV keeps second precision; timestamps agree to the second.
+            assert abs((a.timestamp - b.timestamp).total_seconds()) < 1.0
+
+
+class TestGarbageRejection:
+    @given(garbage=st.text(max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_tsv_reader_raises_valueerror_only(self, garbage, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz") / "garbage.tsv"
+        path.write_text(garbage, encoding="utf-8")
+        try:
+            ds = read_foursquare_tsv(path)
+        except ValueError as exc:
+            assert "garbage.tsv" in str(exc)  # location info present
+        else:
+            # Only whitespace-only input parses (as an empty dataset).
+            assert len(ds) == 0
+
+    @given(garbage=st.text(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_jsonl_reader_raises_valueerror_only(self, garbage, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz") / "garbage.jsonl"
+        path.write_text(garbage, encoding="utf-8")
+        try:
+            ds = read_jsonl(path)
+        except ValueError:
+            pass
+        else:
+            assert len(ds) == 0
+
+    @given(garbage=st.text(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_csv_reader_raises_valueerror_only(self, garbage, tmp_path_factory):
+        path = tmp_path_factory.mktemp("fuzz") / "garbage.csv"
+        path.write_text(garbage, encoding="utf-8")
+        try:
+            ds = read_csv(path)
+        except ValueError:
+            pass
+        else:
+            assert len(ds) == 0
+
+    def test_truncated_real_file(self, tmp_path, small_ds):
+        """Cutting a valid file mid-record still fails cleanly."""
+        path = tmp_path / "data.tsv"
+        save_dataset(small_ds.filter_users(small_ds.user_ids()[:2]), path)
+        content = path.read_text()
+        path.write_text(content[: len(content) // 2 - 7])
+        with pytest.raises(ValueError):
+            read_foursquare_tsv(path)

@@ -1,0 +1,160 @@
+"""Tests for the synthetic GTSM generator (the dataset substitution)."""
+
+import pytest
+
+from repro.data import SMALL_CONFIG, SynthConfig, dataset_stats, generate
+from repro.data.synth import build_agents, build_city
+from repro.taxonomy import build_default_taxonomy
+
+import numpy as np
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SynthConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_users": 0},
+        {"exploration_prob": 1.5},
+        {"checkin_rate_mean": 0.0},
+        {"checkin_rate_clamp": (0.5, 0.2)},
+        {"worker_fraction": 0.9, "student_fraction": 0.3},
+        {"power_user_fraction": -0.1},
+        {"monthly_seasonality": {1: 1.0}},
+    ])
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            SynthConfig(**kwargs)
+
+    def test_end_before_start_raises(self):
+        from datetime import date
+        with pytest.raises(ValueError):
+            SynthConfig(start_date=date(2012, 6, 1), end_date=date(2012, 4, 1))
+
+    def test_n_days(self):
+        assert SMALL_CONFIG.n_days == 76
+
+
+class TestCity:
+    @pytest.fixture(scope="class")
+    def city(self):
+        rng = np.random.default_rng(3)
+        return build_city(SMALL_CONFIG.bbox, 6, 500, 800.0, rng,
+                          build_default_taxonomy())
+
+    def test_venue_count(self, city):
+        assert len(city.venues) >= 450  # rounding of dirichlet shares
+
+    def test_all_venues_inside_bbox(self, city):
+        for venue in city.venues:
+            assert city.bbox.contains(venue.location)
+
+    def test_venue_categories_resolvable(self, city):
+        for venue in city.venues[:50]:
+            node = city.taxonomy.get(venue.category_id)
+            assert node.name == venue.category_name
+            assert node.is_leaf
+
+    def test_lookup_by_root_and_leaf(self, city):
+        eateries = city.venues_of_root("Eatery")
+        assert eateries
+        thai = city.venues_of_leaf("Thai Restaurant")
+        assert all(v.category_name == "Thai Restaurant" for v in thai)
+
+    def test_nearest_of_root_sorted(self, city):
+        anchor = city.neighborhoods[0].center
+        nearest = city.nearest_of_root(anchor, "Eatery", k=5)
+        distances = [anchor.fast_distance_to(v.location) for v in nearest]
+        assert distances == sorted(distances)
+
+    def test_unknown_category_empty(self, city):
+        assert city.venues_of_leaf("Space Elevator") == []
+
+
+class TestAgents:
+    @pytest.fixture(scope="class")
+    def world(self):
+        rng = np.random.default_rng(5)
+        taxonomy = build_default_taxonomy()
+        city = build_city(SMALL_CONFIG.bbox, 6, 600, 800.0, rng, taxonomy)
+        agents = build_agents(city, SMALL_CONFIG, rng)
+        return city, agents
+
+    def test_population_size(self, world):
+        _, agents = world
+        assert len(agents) == SMALL_CONFIG.n_users
+
+    def test_personas_distributed(self, world):
+        _, agents = world
+        personas = {a.persona for a in agents}
+        assert personas == {"worker", "student", "freelancer"}
+
+    def test_rates_clamped(self, world):
+        _, agents = world
+        lo, hi = SMALL_CONFIG.checkin_rate_clamp
+        assert all(lo <= a.checkin_prob <= hi for a in agents)
+
+    def test_routines_reference_real_venues(self, world):
+        city, agents = world
+        for agent in agents[:20]:
+            for stop in agent.weekday_routine:
+                if stop.pool_kind == "fixed":
+                    assert stop.target in city.venues_by_id
+
+    def test_preference_pools_match_category(self, world):
+        city, agents = world
+        for agent in agents[:20]:
+            for stop in agent.weekday_routine:
+                if stop.pool_kind == "leaf" and stop.slot_key in agent.preferred:
+                    pool = agent.preferred[stop.slot_key]
+                    assert all(v.category_name == stop.target for v in pool)
+
+    def test_weekend_vs_weekday_routine(self, world):
+        _, agents = world
+        agent = agents[0]
+        assert agent.routine_for(0) == agent.weekday_routine
+        assert agent.routine_for(6) == agent.weekend_routine
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        cfg = SynthConfig(**{**SMALL_CONFIG.__dict__, "n_users": 10})
+        a = generate(cfg).dataset
+        b = generate(cfg).dataset
+        assert len(a) == len(b)
+        assert [c.timestamp for c in a] == [c.timestamp for c in b]
+        assert [c.venue_id for c in a] == [c.venue_id for c in b]
+
+    def test_different_seed_differs(self):
+        base = {**SMALL_CONFIG.__dict__, "n_users": 10}
+        a = generate(SynthConfig(**{**base, "seed": 1})).dataset
+        b = generate(SynthConfig(**{**base, "seed": 2})).dataset
+        assert [c.venue_id for c in a] != [c.venue_id for c in b]
+
+    def test_timestamps_inside_period(self, small_ds):
+        lo, hi = small_ds.time_range()
+        assert lo.date() >= SMALL_CONFIG.start_date
+        # One day of slack: local-time offsets can spill into the next UTC day.
+        assert (hi.date() - SMALL_CONFIG.end_date).days <= 1
+
+    def test_sparse_like_paper(self, small_ds):
+        stats = dataset_stats(small_ds)
+        assert stats.is_sparse
+
+    def test_checkins_reference_city_venues(self, small_gen):
+        for record in list(small_gen.dataset)[:200]:
+            venue = small_gen.city.venues_by_id[record.venue_id]
+            assert venue.category_name == record.category_name
+
+    def test_flexibility_same_slot_many_venues(self, small_gen):
+        """The paper's motivation: a user's lunch slot spans multiple venues."""
+        # Power users have enough records to observe the flexibility.
+        busiest = max(small_gen.agents, key=lambda a: a.checkin_prob)
+        records = small_gen.dataset.for_user(busiest.user_id)
+        lunch = [c for c in records if 11.5 <= c.local_hour <= 13.8
+                 and c.category_name == busiest.weekday_routine[3].target]
+        if len(lunch) >= 10:
+            assert len({c.venue_id for c in lunch}) >= 2
+
+    def test_ground_truth_accessible(self, small_gen):
+        assert small_gen.agents_by_id[small_gen.agents[0].user_id] is small_gen.agents[0]

@@ -1,0 +1,98 @@
+"""Tests for the figure drivers (paper-claim shapes at small scale)."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.experiments import (
+    crowd_shift,
+    crowd_views,
+    fig5_chart,
+    fig6_chart,
+    fig7_chart,
+    fig8_chart,
+    run_support_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(pipeline_result, taxonomy):
+    return run_support_sweep(pipeline_result.dataset, taxonomy,
+                             supports=(0.25, 0.5, 0.75))
+
+
+class TestSweep:
+    def test_covers_all_users_and_supports(self, sweep, pipeline_result):
+        assert sweep.supports == (0.25, 0.5, 0.75)
+        for support in sweep.supports:
+            assert set(sweep.per_user[support]) == set(pipeline_result.profiles)
+
+    def test_fig5_monotone_decreasing(self, sweep):
+        _, ys = sweep.mean_sequences_series()
+        assert ys[0] >= ys[1] >= ys[2]
+        assert ys[0] > ys[2]  # strictly fewer at the extremes
+
+    def test_fig5_early_drop_steeper(self, sweep):
+        """The paper: 0.25→0.5 drop exceeds the 0.5→0.75 drop."""
+        _, ys = sweep.mean_sequences_series()
+        assert (ys[0] - ys[1]) >= (ys[1] - ys[2])
+
+    def test_fig7_monotone_decreasing(self, sweep):
+        _, ys = sweep.mean_length_series()
+        assert ys[0] >= ys[-1]
+
+    def test_distributions_nonempty_at_half(self, sweep):
+        assert len(sweep.sequence_counts_at(0.5)) > 0
+        lengths = sweep.avg_lengths_at(0.5)
+        assert all(l >= 1.0 for l in lengths)
+
+    def test_rows_match_series(self, sweep):
+        rows = sweep.to_rows()
+        _, ys = sweep.mean_sequences_series()
+        assert [row["mean_sequences_per_user"] for row in rows] == ys
+
+    def test_empty_supports_raise(self, pipeline_result, taxonomy):
+        with pytest.raises(ValueError):
+            run_support_sweep(pipeline_result.dataset, taxonomy, supports=())
+
+
+class TestCharts:
+    @pytest.mark.parametrize("chart_fn", [fig5_chart, fig7_chart])
+    def test_line_charts_valid(self, sweep, chart_fn):
+        xml.dom.minidom.parseString(chart_fn(sweep))
+
+    @pytest.mark.parametrize("chart_fn", [fig6_chart, fig8_chart])
+    def test_histograms_valid(self, sweep, chart_fn):
+        xml.dom.minidom.parseString(chart_fn(sweep))
+
+
+class TestCrowdViews:
+    def test_views_and_shift(self, pipeline_result):
+        result = crowd_views(pipeline_result.timeline, hours=(9.5, 13.5))
+        assert len(result.snapshots) == 2
+        assert len(result.svgs) == 2
+        for svg in result.svgs:
+            xml.dom.minidom.parseString(svg)
+        assert len(result.shift_scores) == 1
+        assert 0.0 <= result.shift_scores[0] <= 1.0
+
+    def test_crowd_moves_between_windows(self, pipeline_result):
+        """Paper claim (Figs. 3-4): changing the window relocates the crowd."""
+        morning = pipeline_result.timeline.at_hour(9.5)
+        evening = pipeline_result.timeline.at_hour(21.5)
+        if morning.n_users and evening.n_users:
+            assert crowd_shift(morning, evening) > 0.0
+
+    def test_shift_identity_zero(self, pipeline_result):
+        snap = pipeline_result.timeline.at_hour(9.5)
+        assert crowd_shift(snap, snap) == 0.0
+
+    def test_empty_hours_raise(self, pipeline_result):
+        with pytest.raises(ValueError):
+            crowd_views(pipeline_result.timeline, hours=())
+
+    def test_summary_rows(self, pipeline_result):
+        result = crowd_views(pipeline_result.timeline, hours=(9.5,))
+        label, users, cells = result.summary_rows()[0]
+        assert label == "09:00-10:00"
+        assert cells <= users or users == 0

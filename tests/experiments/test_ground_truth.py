@@ -1,0 +1,74 @@
+"""Tests for ground-truth pattern validation."""
+
+import pytest
+
+from repro.experiments import validate_against_ground_truth
+from repro.mining import ModifiedPrefixSpanConfig
+from repro.patterns import detect_all_patterns
+from repro.sequences import HOURLY
+
+
+@pytest.fixture(scope="module")
+def validation(small_gen, pipeline_result):
+    return validate_against_ground_truth(
+        small_gen, pipeline_result.profiles, pipeline_result.taxonomy, HOURLY
+    )
+
+
+class TestValidation:
+    def test_covers_all_profiled_users(self, validation, pipeline_result):
+        assert {v.user_id for v in validation.per_user} == set(pipeline_result.profiles)
+
+    def test_precision_high(self, validation):
+        """Mined patterns must correspond to real routine behaviour —
+        the miner should not hallucinate."""
+        assert validation.mean_precision >= 0.9
+
+    def test_recall_positive(self, validation):
+        """At least some of the strong routine stops must be recovered."""
+        assert validation.mean_recall > 0.0
+
+    def test_rates_bounded(self, validation):
+        for v in validation.per_user:
+            assert 0.0 <= v.recall <= 1.0
+            assert 0.0 <= v.precision <= 1.0
+
+    def test_lower_support_improves_recall(self, small_gen, pipeline_result):
+        """Sparsity hides weak stops at high support; lowering the threshold
+        must recover more of the truth (never less)."""
+        results = {}
+        for support in (0.25, 0.6):
+            profiles = detect_all_patterns(
+                pipeline_result.dataset,
+                pipeline_result.taxonomy,
+                config=ModifiedPrefixSpanConfig(min_support=support),
+            )
+            summary = validate_against_ground_truth(
+                small_gen, profiles, pipeline_result.taxonomy, HOURLY
+            )
+            results[support] = summary.mean_recall
+        assert results[0.25] >= results[0.6]
+
+    def test_empty_profiles_user_scores_zero_recall(self, validation):
+        empties = [v for v in validation.per_user if v.n_pattern_items == 0]
+        for v in empties:
+            assert v.recall == 0.0
+            assert v.precision == 1.0  # vacuous
+
+    def test_invalid_params(self, small_gen, pipeline_result):
+        with pytest.raises(ValueError):
+            validate_against_ground_truth(
+                small_gen, pipeline_result.profiles, pipeline_result.taxonomy,
+                HOURLY, min_stop_prob=1.5,
+            )
+        with pytest.raises(ValueError):
+            validate_against_ground_truth(
+                small_gen, pipeline_result.profiles, pipeline_result.taxonomy,
+                HOURLY, bin_tolerance=-1,
+            )
+
+    def test_rows_shape(self, validation):
+        rows = validation.as_rows()
+        assert rows
+        assert {"user_id", "truth_stops", "pattern_items", "recall",
+                "precision"} <= set(rows[0])

@@ -1,0 +1,64 @@
+"""Tests for the measured-results markdown renderer."""
+
+import json
+
+import pytest
+
+from repro.experiments.report_markdown import main, render_measured_markdown
+
+
+@pytest.fixture
+def measured():
+    return {
+        "table_dataset_stats": [["check-ins", "227,799"], ["users", "1,083"]],
+        "fig5_sequences_vs_support": {
+            "supports": [0.25, 0.5, 0.75],
+            "mean_sequences_per_user": [67.9, 5.9, 0.2],
+        },
+        "fig3_fig4_crowd_views": {
+            "windows": [["09:00-10:00", 29, 25]],
+            "shift": [1.0],
+        },
+        "table_pattern_recovery": [
+            {"min_support": 0.25, "mean_recall": 1.0, "mean_precision": 1.0},
+        ],
+        "ablation_abstraction": [
+            {"knob": "abstraction", "setting": "root",
+             "mean_sequences_per_user": 13.4, "mean_avg_length": 1.2},
+        ],
+    }
+
+
+class TestRenderer:
+    def test_all_sections_present(self, measured):
+        text = render_measured_markdown(measured)
+        assert "## Dataset statistics" in text
+        assert "## Fig. 5" in text
+        assert "## Figs. 3–4" in text
+        assert "## Ground-truth pattern recovery" in text
+        assert "## Ablation Abstraction" in text
+        assert "| 227,799 |" in text
+
+    def test_missing_sections_skipped(self):
+        text = render_measured_markdown({})
+        assert text.startswith("# Measured results")
+        assert "## Fig. 5" not in text
+
+    def test_table_shapes(self, measured):
+        text = render_measured_markdown(measured)
+        fig5_lines = [l for l in text.splitlines() if l.startswith("| mean seq/user")]
+        assert len(fig5_lines) == 1
+        assert fig5_lines[0].count("|") == 5  # 4 cells -> 5 pipe characters
+
+    def test_main_writes_file(self, measured, tmp_path, capsys):
+        src = tmp_path / "measured.json"
+        src.write_text(json.dumps(measured))
+        out = tmp_path / "out.md"
+        assert main(["--measured", str(src), "--out", str(out)]) == 0
+        assert out.read_text().startswith("# Measured results")
+
+    def test_main_prints_to_stdout(self, measured, tmp_path, capsys):
+        src = tmp_path / "measured.json"
+        src.write_text(json.dumps(measured))
+        assert main(["--measured", str(src)]) == 0
+        assert "# Measured results" in capsys.readouterr().out

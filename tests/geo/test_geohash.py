@@ -1,0 +1,111 @@
+"""Tests for geohash encode/decode/neighbors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import (
+    geohash_decode,
+    geohash_decode_bbox,
+    geohash_encode,
+    geohash_neighbors,
+    precision_for_cell_size_m,
+)
+from repro.geo.geohash import expand
+
+
+class TestKnownValues:
+    def test_wikipedia_example(self):
+        # The canonical geohash example: (42.605, -5.603) -> "ezs42".
+        assert geohash_encode(42.605, -5.603, 5) == "ezs42"
+
+    def test_decode_center_close(self):
+        lat, lon = geohash_decode("ezs42")
+        assert lat == pytest.approx(42.605, abs=0.03)
+        assert lon == pytest.approx(-5.603, abs=0.03)
+
+    def test_times_square(self):
+        h = geohash_encode(40.7580, -73.9855, 7)
+        assert h.startswith("dr5ru")
+
+
+class TestRoundtrip:
+    @given(st.floats(min_value=-89.9, max_value=89.9),
+           st.floats(min_value=-179.9, max_value=179.9),
+           st.integers(min_value=1, max_value=9))
+    @settings(max_examples=80)
+    def test_decode_bbox_contains_point(self, lat, lon, precision):
+        h = geohash_encode(lat, lon, precision)
+        min_lat, min_lon, max_lat, max_lon = geohash_decode_bbox(h)
+        assert min_lat <= lat <= max_lat
+        assert min_lon <= lon <= max_lon
+
+    @given(st.floats(min_value=-89.9, max_value=89.9),
+           st.floats(min_value=-179.9, max_value=179.9))
+    @settings(max_examples=50)
+    def test_center_reencodes_to_same_hash(self, lat, lon):
+        h = geohash_encode(lat, lon, 7)
+        lat_c, lon_c = geohash_decode(h)
+        assert geohash_encode(lat_c, lon_c, 7) == h
+
+    def test_prefix_nesting(self):
+        h = geohash_encode(40.7580, -73.9855, 8)
+        outer = geohash_decode_bbox(h[:5])
+        inner = geohash_decode_bbox(h)
+        assert outer[0] <= inner[0] and outer[1] <= inner[1]
+        assert outer[2] >= inner[2] and outer[3] >= inner[3]
+
+
+class TestErrors:
+    def test_bad_precision(self):
+        with pytest.raises(ValueError):
+            geohash_encode(0, 0, 0)
+        with pytest.raises(ValueError):
+            geohash_encode(0, 0, 13)
+
+    def test_bad_coords(self):
+        with pytest.raises(ValueError):
+            geohash_encode(91, 0)
+
+    def test_bad_character(self):
+        with pytest.raises(ValueError):
+            geohash_decode_bbox("dr5a")  # 'a' is not base-32 geohash
+
+    def test_empty_hash(self):
+        with pytest.raises(ValueError):
+            geohash_decode_bbox("")
+
+
+class TestNeighbors:
+    def test_interior_has_8(self):
+        assert len(geohash_neighbors("dr5ru7h")) == 8
+
+    def test_neighbors_are_adjacent(self):
+        h = "dr5ru"
+        lat0, lon0 = geohash_decode(h)
+        min_lat, min_lon, max_lat, max_lon = geohash_decode_bbox(h)
+        dlat, dlon = max_lat - min_lat, max_lon - min_lon
+        for n in geohash_neighbors(h):
+            lat, lon = geohash_decode(n)
+            assert abs(lat - lat0) <= dlat * 1.5
+            assert abs(lon - lon0) <= dlon * 1.5
+
+    def test_expand_includes_self(self):
+        assert "dr5ru"in expand("dr5ru")
+
+    def test_pole_has_fewer(self):
+        near_pole = geohash_encode(89.99, 0.0, 4)
+        assert len(geohash_neighbors(near_pole)) < 8
+
+
+class TestPrecisionSelection:
+    def test_monotonic(self):
+        assert precision_for_cell_size_m(1_000_000) <= precision_for_cell_size_m(100)
+
+    @pytest.mark.parametrize("size,expected", [(5_000_000, 1), (150_000, 4), (1000, 7), (0.01, 12)])
+    def test_known_sizes(self, size, expected):
+        assert precision_for_cell_size_m(size) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            precision_for_cell_size_m(0)

@@ -1,0 +1,93 @@
+"""Tests for the point quadtree, cross-checked against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.geo import BoundingBox, GeoPoint, QuadTree
+
+
+@pytest.fixture
+def bbox():
+    return BoundingBox(40.0, -75.0, 41.0, -74.0)
+
+
+def random_points(bbox, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        GeoPoint(float(rng.uniform(bbox.min_lat, bbox.max_lat)),
+                 float(rng.uniform(bbox.min_lon, bbox.max_lon)))
+        for _ in range(n)
+    ]
+
+
+class TestInsert:
+    def test_size_tracks_inserts(self, bbox):
+        tree = QuadTree(bbox, capacity=4)
+        for i, p in enumerate(random_points(bbox, 50)):
+            tree.insert(p, i)
+        assert len(tree) == 50
+        assert len(list(tree)) == 50
+
+    def test_outside_raises(self, bbox):
+        tree = QuadTree(bbox)
+        with pytest.raises(ValueError):
+            tree.insert(GeoPoint(39.0, -74.5), "x")
+
+    def test_duplicate_points_bounded_depth(self, bbox):
+        tree = QuadTree(bbox, capacity=2, max_depth=4)
+        p = GeoPoint(40.5, -74.5)
+        for i in range(100):
+            tree.insert(p, i)
+        assert len(tree) == 100
+
+    def test_invalid_params(self, bbox):
+        with pytest.raises(ValueError):
+            QuadTree(bbox, capacity=0)
+        with pytest.raises(ValueError):
+            QuadTree(bbox, max_depth=0)
+
+
+class TestQueries:
+    def test_bbox_query_matches_bruteforce(self, bbox):
+        points = random_points(bbox, 300, seed=1)
+        tree = QuadTree(bbox, capacity=8)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        window = BoundingBox(40.3, -74.7, 40.7, -74.3)
+        got = {e.payload for e in tree.query_bbox(window)}
+        expected = {i for i, p in enumerate(points) if window.contains(p)}
+        assert got == expected
+
+    def test_radius_query_matches_bruteforce(self, bbox):
+        points = random_points(bbox, 300, seed=2)
+        tree = QuadTree(bbox, capacity=8)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        center = GeoPoint(40.5, -74.5)
+        radius = 15_000.0
+        got = {e.payload for e in tree.query_radius(center, radius)}
+        expected = {i for i, p in enumerate(points) if center.distance_to(p) <= radius}
+        assert got == expected
+
+    def test_radius_negative_raises(self, bbox):
+        with pytest.raises(ValueError):
+            QuadTree(bbox).query_radius(GeoPoint(40.5, -74.5), -1.0)
+
+    def test_nearest_matches_bruteforce(self, bbox):
+        points = random_points(bbox, 200, seed=3)
+        tree = QuadTree(bbox, capacity=8)
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+        center = GeoPoint(40.42, -74.61)
+        got = [e.payload for _, e in tree.nearest(center, k=5)]
+        expected = sorted(range(len(points)), key=lambda i: center.distance_to(points[i]))[:5]
+        assert got == expected
+
+    def test_nearest_k_invalid(self, bbox):
+        with pytest.raises(ValueError):
+            QuadTree(bbox).nearest(GeoPoint(40.5, -74.5), k=0)
+
+    def test_empty_tree_queries(self, bbox):
+        tree = QuadTree(bbox)
+        assert tree.query_radius(GeoPoint(40.5, -74.5), 1000.0) == []
+        assert tree.nearest(GeoPoint(40.5, -74.5), k=3) == []

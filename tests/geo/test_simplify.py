@@ -1,0 +1,97 @@
+"""Tests for Douglas–Peucker simplification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import GeoPoint, perpendicular_distance_m, simplify_polyline
+
+
+def line_points(n, lat0=40.7, lon0=-74.0, dlat=0.001):
+    return [GeoPoint(lat0 + i * dlat, lon0) for i in range(n)]
+
+
+class TestPerpendicularDistance:
+    def test_point_on_segment_zero(self):
+        a, b = GeoPoint(40.70, -74.00), GeoPoint(40.72, -74.00)
+        mid = GeoPoint(40.71, -74.00)
+        assert perpendicular_distance_m(mid, a, b) < 1.0
+
+    def test_offset_point(self):
+        a, b = GeoPoint(40.70, -74.00), GeoPoint(40.72, -74.00)
+        off = GeoPoint(40.71, -73.99)  # ~845 m east of the segment
+        d = perpendicular_distance_m(off, a, b)
+        assert d == pytest.approx(845, rel=0.05)
+
+    def test_degenerate_segment(self):
+        a = GeoPoint(40.70, -74.00)
+        p = GeoPoint(40.71, -74.00)
+        d = perpendicular_distance_m(p, a, a)
+        assert d == pytest.approx(p.distance_to(a), rel=1e-6)
+
+    def test_beyond_endpoint_clamped(self):
+        a, b = GeoPoint(40.70, -74.00), GeoPoint(40.71, -74.00)
+        far = GeoPoint(40.75, -74.00)  # past b along the line
+        d = perpendicular_distance_m(far, a, b)
+        assert d == pytest.approx(far.distance_to(b), rel=0.01)
+
+
+class TestSimplify:
+    def test_straight_line_collapses_to_endpoints(self):
+        points = line_points(50)
+        simplified = simplify_polyline(points, tolerance_m=10.0)
+        assert simplified == [points[0], points[-1]]
+
+    def test_corner_kept(self):
+        leg1 = line_points(20)
+        corner_lat = leg1[-1].lat
+        leg2 = [GeoPoint(corner_lat, -74.0 + i * 0.001) for i in range(1, 20)]
+        points = leg1 + leg2
+        simplified = simplify_polyline(points, tolerance_m=10.0)
+        assert leg1[-1] in simplified
+        assert len(simplified) == 3
+
+    def test_short_input_unchanged(self):
+        points = line_points(2)
+        assert simplify_polyline(points, 10.0) == points
+        assert simplify_polyline(points[:1], 10.0) == points[:1]
+        assert simplify_polyline([], 10.0) == []
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            simplify_polyline(line_points(5), 0.0)
+
+    def test_error_bound_holds(self):
+        """Every dropped point stays within tolerance of the simplification."""
+        rng = np.random.default_rng(4)
+        points = [
+            GeoPoint(40.7 + float(rng.normal(0, 0.002)),
+                     -74.0 + i * 0.0005 + float(rng.normal(0, 0.0005)))
+            for i in range(60)
+        ]
+        tolerance = 100.0
+        simplified = simplify_polyline(points, tolerance)
+        kept = set((p.lat, p.lon) for p in simplified)
+        for p in points:
+            if (p.lat, p.lon) in kept:
+                continue
+            best = min(
+                perpendicular_distance_m(p, a, b)
+                for a, b in zip(simplified, simplified[1:])
+            )
+            assert best <= tolerance * 1.01
+
+    @given(st.integers(min_value=3, max_value=40), st.floats(min_value=5, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_endpoints_always_kept(self, n, tolerance):
+        rng = np.random.default_rng(n)
+        points = [
+            GeoPoint(40.7 + float(rng.normal(0, 0.003)),
+                     -74.0 + float(rng.normal(0, 0.003)))
+            for _ in range(n)
+        ]
+        simplified = simplify_polyline(points, tolerance)
+        assert simplified[0] == points[0]
+        assert simplified[-1] == points[-1]
+        assert len(simplified) <= len(points)

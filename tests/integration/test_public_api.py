@@ -1,0 +1,58 @@
+"""Import-surface tests: every exported name resolves, in every package."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.crowd",
+    "repro.data",
+    "repro.data.synth",
+    "repro.experiments",
+    "repro.geo",
+    "repro.mining",
+    "repro.patterns",
+    "repro.persistence",
+    "repro.pipeline",
+    "repro.prediction",
+    "repro.sequences",
+    "repro.taxonomy",
+    "repro.viz",
+    "repro.web",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} must declare __all__"
+    for export in module.__all__:
+        assert hasattr(module, export), f"{name}.__all__ lists missing {export!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_is_sorted_unique(name):
+    module = importlib.import_module(name)
+    exports = list(module.__all__)
+    assert len(exports) == len(set(exports)), f"{name}.__all__ has duplicates"
+
+
+def test_top_level_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_cli_entry_point_importable():
+    from repro.cli.main import build_parser
+
+    parser = build_parser()
+    commands = {a.dest for a in parser._subparsers._group_actions[0]._choices_actions}  # noqa: SLF001
+    # Guard the documented command set.
+    expected = {"generate", "stats", "mine", "crowd", "figures", "serve",
+                "predict", "analyze", "audit", "communities", "monitor",
+                "export-spmf"}
+    names = set(parser._subparsers._group_actions[0].choices)  # noqa: SLF001
+    assert expected <= names

@@ -1,0 +1,121 @@
+"""Tests for closed/maximal filtering and pattern statistics."""
+
+import pytest
+
+from repro.mining import (
+    SequentialPattern,
+    aggregate_stats,
+    closed_patterns,
+    maximal_patterns,
+    sort_patterns,
+    top_k_patterns,
+    user_mining_stats,
+)
+
+
+def pattern(items, count, n=10):
+    return SequentialPattern(items=tuple(items), count=count, support=count / n)
+
+
+class TestSequentialPattern:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialPattern(items=(), count=1, support=0.1)
+        with pytest.raises(ValueError):
+            SequentialPattern(items=("a",), count=-1, support=0.1)
+        with pytest.raises(ValueError):
+            SequentialPattern(items=("a",), count=1, support=1.5)
+
+    def test_subpattern(self):
+        assert pattern("ac", 1).is_subpattern_of(pattern("abc", 1))
+        assert not pattern("ca", 1).is_subpattern_of(pattern("abc", 1))
+
+    def test_format(self):
+        text = pattern(("a", "b"), 5).format()
+        assert "a → b" in text and "n=5" in text
+
+    def test_len(self):
+        assert len(pattern("abc", 1)) == 3
+
+
+class TestClosed:
+    def test_prefix_with_same_count_absorbed(self):
+        patterns = [pattern("a", 5), pattern("ab", 5), pattern("b", 7)]
+        closed = closed_patterns(patterns)
+        assert {p.items for p in closed} == {("a", "b"), ("b",)}
+
+    def test_prefix_with_higher_count_kept(self):
+        patterns = [pattern("a", 8), pattern("ab", 5)]
+        closed = closed_patterns(patterns)
+        assert {p.items for p in closed} == {("a",), ("a", "b")}
+
+    def test_empty(self):
+        assert closed_patterns([]) == []
+
+
+class TestMaximal:
+    def test_all_subpatterns_dropped(self):
+        patterns = [pattern("a", 8), pattern("b", 6), pattern("ab", 5)]
+        maximal = maximal_patterns(patterns)
+        assert {p.items for p in maximal} == {("a", "b")}
+
+    def test_incomparable_patterns_kept(self):
+        patterns = [pattern("ab", 5), pattern("ba", 4)]
+        assert len(maximal_patterns(patterns)) == 2
+
+    def test_maximal_subset_of_closed(self):
+        patterns = [pattern("a", 8), pattern("ab", 5), pattern("abc", 5), pattern("c", 9)]
+        closed = {p.items for p in closed_patterns(patterns)}
+        maximal = {p.items for p in maximal_patterns(patterns)}
+        assert maximal <= closed
+
+
+class TestTopKAndSort:
+    def test_sort_by_count_then_length(self):
+        patterns = [pattern("a", 3), pattern("bc", 5), pattern("d", 5)]
+        ordered = sort_patterns(patterns)
+        assert ordered[0].items == ("b", "c")
+        assert ordered[1].items == ("d",)
+
+    def test_top_k(self):
+        patterns = [pattern("a", i) for i in range(1, 6)]
+        top = top_k_patterns(patterns, 2)
+        assert [p.count for p in top] == [5, 4]
+
+    def test_top_k_invalid(self):
+        with pytest.raises(ValueError):
+            top_k_patterns([], -1)
+
+
+class TestStats:
+    def test_user_stats_empty(self):
+        stats = user_mining_stats("u", [], n_days=30)
+        assert stats.n_sequences == 0
+        assert stats.avg_length == 0.0
+
+    def test_user_stats_values(self):
+        stats = user_mining_stats("u", [pattern("a", 5), pattern("abc", 3)], n_days=30)
+        assert stats.n_sequences == 2
+        assert stats.avg_length == pytest.approx(2.0)
+        assert stats.max_length == 3
+
+    def test_aggregate(self):
+        per_user = {
+            "u1": user_mining_stats("u1", [pattern("a", 5)], 30),
+            "u2": user_mining_stats("u2", [pattern("ab", 4), pattern("b", 4)], 30),
+            "u3": user_mining_stats("u3", [], 30),
+        }
+        agg = aggregate_stats(0.5, per_user)
+        assert agg.n_users == 3
+        assert agg.mean_sequences_per_user == pytest.approx(1.0)
+        # Length mean excludes the pattern-less user.
+        assert agg.mean_avg_length == pytest.approx((1.0 + 1.5) / 2)
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            aggregate_stats(0.5, {})
+
+    def test_aggregate_all_empty_users(self):
+        per_user = {"u": user_mining_stats("u", [], 10)}
+        agg = aggregate_stats(0.5, per_user)
+        assert agg.mean_avg_length == 0.0

@@ -1,0 +1,46 @@
+"""Tests for the GSP baseline — must agree exactly with PrefixSpan."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining import MiningLimits, gsp, prefixspan
+from repro.sequences import SequenceDatabase
+
+small_dbs = st.lists(
+    st.lists(st.sampled_from("abc"), min_size=0, max_size=6),
+    min_size=1,
+    max_size=7,
+)
+
+
+def as_set(patterns):
+    return {(p.items, p.count) for p in patterns}
+
+
+class TestEquivalence:
+    @given(small_dbs, st.sampled_from([0.25, 0.5, 1.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_gsp_equals_prefixspan(self, raw, min_support):
+        db = SequenceDatabase(raw)
+        assert as_set(gsp(db, min_support)) == as_set(prefixspan(db, min_support))
+
+    def test_equivalence_on_synthetic_user(self, active_db):
+        assert as_set(gsp(active_db, 0.4)) == as_set(prefixspan(active_db, 0.4))
+
+
+class TestBehaviour:
+    def test_empty_db(self):
+        assert gsp(SequenceDatabase([]), 0.5) == []
+
+    def test_respects_limits(self):
+        db = SequenceDatabase([["a", "b", "c"]] * 4)
+        patterns = gsp(db, 0.5, MiningLimits(max_length=2))
+        assert max(len(p) for p in patterns) == 2
+        patterns = gsp(db, 0.5, MiningLimits(min_length=2))
+        assert min(len(p) for p in patterns) == 2
+
+    def test_candidate_join_produces_longer_patterns(self):
+        db = SequenceDatabase([["a", "b", "c", "d"]] * 3)
+        patterns = {p.items for p in gsp(db, 1.0)}
+        assert ("a", "b", "c", "d") in patterns

@@ -1,0 +1,114 @@
+"""Tests for incremental pattern maintenance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining import (
+    IncrementalPatternStore,
+    MiningLimits,
+    ModifiedPrefixSpanConfig,
+    modified_prefixspan,
+)
+from repro.sequences import SequenceDatabase, TimedItem
+
+
+def day(*pairs):
+    return tuple(TimedItem(b, l) for b, l in pairs)
+
+
+WORKDAY = day((9, "Work"), (12, "Eatery"))
+GYM_DAY = day((9, "Work"), (18, "Gym"))
+
+CONFIG = ModifiedPrefixSpanConfig(min_support=0.5, time_tolerance_bins=0,
+                                  canonicalize_bins=False)
+
+
+class TestBasics:
+    def test_initial_mine(self):
+        store = IncrementalPatternStore([WORKDAY] * 4, CONFIG)
+        labels = {tuple(i.label for i in p.items) for p in store.patterns()}
+        assert ("Work", "Eatery") in labels
+        assert not store.needs_remine
+
+    def test_counts_stay_exact_as_days_arrive(self):
+        store = IncrementalPatternStore([WORKDAY] * 4, CONFIG)
+        store.add_day(WORKDAY)
+        support = store.support_of(day((9, "Work"), (12, "Eatery")))
+        assert support == pytest.approx(1.0)
+        store.add_day(day((3, "Nightlife"),))
+        support = store.support_of(day((9, "Work"), (12, "Eatery")))
+        assert support == pytest.approx(5 / 6)
+
+    def test_pattern_drops_below_threshold(self):
+        store = IncrementalPatternStore([WORKDAY] * 2, CONFIG)
+        for _ in range(3):
+            store.add_day(day((3, "Nightlife"),))
+        labels = {tuple(i.label for i in p.items) for p in store.patterns()}
+        assert ("Work", "Eatery") not in labels  # support 2/5 < 0.5
+        # But the count is still tracked exactly.
+        assert store.support_of(day((9, "Work"), (12, "Eatery"))) == pytest.approx(2 / 5)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            IncrementalPatternStore([WORKDAY], CONFIG, remine_interval=0)
+
+
+class TestStaleness:
+    def test_new_behaviour_flags_remine(self):
+        store = IncrementalPatternStore([WORKDAY] * 4, CONFIG, remine_interval=100)
+        assert not store.needs_remine
+        # A brand-new frequent habit appears.
+        for _ in range(6):
+            store.add_day(GYM_DAY)
+        assert store.needs_remine
+
+    def test_remine_restores_completeness(self):
+        store = IncrementalPatternStore([WORKDAY] * 4, CONFIG, remine_interval=100)
+        for _ in range(6):
+            store.add_day(GYM_DAY)
+        store.remine()
+        assert not store.needs_remine
+        labels = {tuple(i.label for i in p.items) for p in store.patterns()}
+        assert ("Work", "Gym") in labels
+
+    def test_interval_backstop(self):
+        store = IncrementalPatternStore([WORKDAY] * 4, CONFIG, remine_interval=3)
+        for _ in range(3):
+            store.add_day(WORKDAY)
+        assert store.needs_remine  # day-count backstop, no new behaviour needed
+
+    def test_repeating_known_behaviour_is_not_stale(self):
+        store = IncrementalPatternStore([WORKDAY] * 4, CONFIG, remine_interval=100)
+        store.add_day(WORKDAY)
+        store.add_day(WORKDAY)
+        assert not store.needs_remine
+
+
+class TestEquivalenceAfterRemine:
+    items_strategy = st.lists(
+        st.builds(TimedItem, bin=st.integers(0, 5), label=st.sampled_from("AB")),
+        min_size=0, max_size=3,
+    ).map(lambda seq: tuple(sorted(seq, key=lambda i: i.bin)))
+
+    @given(initial=st.lists(items_strategy, min_size=1, max_size=4),
+           added=st.lists(items_strategy, min_size=0, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_tracked_counts_match_full_mine(self, initial, added):
+        """After any add_day sequence, every tracked pattern's count equals
+        what a from-scratch mine of the full data reports."""
+        config = ModifiedPrefixSpanConfig(
+            min_support=0.4, time_tolerance_bins=1,
+            limits=MiningLimits(max_length=2), canonicalize_bins=False,
+        )
+        store = IncrementalPatternStore(initial, config, n_bins=6)
+        for new_day in added:
+            store.add_day(new_day)
+        full = {
+            p.items: p.count
+            for p in modified_prefixspan(
+                SequenceDatabase(list(initial) + list(added)), config, n_bins=6
+            )
+        }
+        for pattern in store.patterns():
+            assert full.get(pattern.items) == pattern.count

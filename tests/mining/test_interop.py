@@ -1,0 +1,134 @@
+"""Tests for SPMF-format interop."""
+
+import pytest
+
+from repro.mining import (
+    ItemCodec,
+    prefixspan,
+    read_spmf_database,
+    read_spmf_patterns,
+    write_spmf_database,
+    write_spmf_patterns,
+)
+from repro.sequences import SequenceDatabase, TimedItem
+
+
+@pytest.fixture
+def db():
+    return SequenceDatabase([
+        [TimedItem(9, "Work"), TimedItem(12, "Eatery")],
+        [TimedItem(9, "Work")],
+        [TimedItem(12, "Eatery"), TimedItem(18, "Gym")],
+    ])
+
+
+class TestCodec:
+    def test_stable_ids_from_one(self, db):
+        codec = ItemCodec.for_database(db)
+        assert len(codec) == 3
+        ids = [codec.encode(item) for seq in db for item in seq]
+        assert min(ids) == 1
+        assert max(ids) == 3
+
+    def test_roundtrip(self, db):
+        codec = ItemCodec.for_database(db)
+        item = TimedItem(9, "Work")
+        assert codec.decode(codec.encode(item)) == item
+
+    def test_unknown_raises(self, db):
+        codec = ItemCodec.for_database(db)
+        with pytest.raises(KeyError):
+            codec.encode(TimedItem(3, "Nope"))
+        with pytest.raises(KeyError):
+            codec.decode(99)
+
+    def test_deterministic(self, db):
+        a = ItemCodec.for_database(db)
+        b = ItemCodec.for_database(db)
+        assert a.mapping_lines() == b.mapping_lines()
+
+
+class TestDatabaseRoundtrip:
+    def test_write_then_read(self, db, tmp_path):
+        path = tmp_path / "db.spmf"
+        codec = write_spmf_database(db, path)
+        assert (tmp_path / "db.spmf.dict").exists()
+        loaded = read_spmf_database(path)
+        assert len(loaded) == len(db)
+        # Decode back to the original items.
+        for original, encoded in zip(db, loaded):
+            assert tuple(codec.decode(i) for i in encoded) == original
+
+    def test_spmf_format_shape(self, db, tmp_path):
+        path = tmp_path / "db.spmf"
+        write_spmf_database(db, path)
+        first = path.read_text().splitlines()[0]
+        assert first.endswith("-2")
+        assert "-1" in first
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "db.spmf"
+        path.write_text("# comment\n1 -1 2 -1 -2\n@META x\n3 -1 -2\n")
+        loaded = read_spmf_database(path)
+        assert loaded.sequences == ((1, 2), (3,))
+
+    def test_bad_token_raises(self, tmp_path):
+        path = tmp_path / "db.spmf"
+        path.write_text("1 -1 banana -2\n")
+        with pytest.raises(ValueError, match="bad token"):
+            read_spmf_database(path)
+
+    def test_invalid_id_raises(self, tmp_path):
+        path = tmp_path / "db.spmf"
+        path.write_text("0 -1 -2\n")
+        with pytest.raises(ValueError, match="invalid item id"):
+            read_spmf_database(path)
+
+
+class TestPatternRoundtrip:
+    def test_mined_patterns_roundtrip(self, db, tmp_path):
+        codec = ItemCodec.for_database(db)
+        patterns = prefixspan(db, 0.34)
+        path = tmp_path / "patterns.txt"
+        write_spmf_patterns(patterns, codec, path)
+        loaded = read_spmf_patterns(path, codec, n_sequences=len(db))
+        assert {(p.items, p.count) for p in loaded} == {
+            (p.items, p.count) for p in patterns
+        }
+        for p in loaded:
+            assert p.support == pytest.approx(p.count / len(db))
+
+    def test_spmf_pattern_line_format(self, db, tmp_path):
+        codec = ItemCodec.for_database(db)
+        patterns = prefixspan(db, 0.34)
+        path = tmp_path / "patterns.txt"
+        write_spmf_patterns(patterns, codec, path)
+        for line in path.read_text().splitlines():
+            assert "#SUP:" in line
+
+    def test_missing_sup_raises(self, db, tmp_path):
+        codec = ItemCodec.for_database(db)
+        path = tmp_path / "patterns.txt"
+        path.write_text("1 -1 2 -1\n")
+        with pytest.raises(ValueError, match="missing #SUP"):
+            read_spmf_patterns(path, codec, n_sequences=3)
+
+    def test_invalid_n_sequences(self, db, tmp_path):
+        codec = ItemCodec.for_database(db)
+        path = tmp_path / "patterns.txt"
+        path.write_text("1 -1 #SUP: 2\n")
+        with pytest.raises(ValueError):
+            read_spmf_patterns(path, codec, n_sequences=0)
+
+    def test_cross_check_via_integer_database(self, db, tmp_path):
+        """Mining the SPMF-encoded integer database yields the same pattern
+        structure as mining the original — the interop is faithful."""
+        path = tmp_path / "db.spmf"
+        codec = write_spmf_database(db, path)
+        int_db = read_spmf_database(path)
+        original = {
+            tuple(codec.encode(i) for i in p.items): p.count
+            for p in prefixspan(db, 0.34)
+        }
+        integer = {p.items: p.count for p in prefixspan(int_db, 0.34)}
+        assert original == integer

@@ -1,0 +1,116 @@
+"""Tests for classic PrefixSpan, including oracle cross-checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining import MiningLimits, bruteforce_mine, prefixspan
+from repro.sequences import SequenceDatabase
+
+small_dbs = st.lists(
+    st.lists(st.sampled_from("abcd"), min_size=0, max_size=6),
+    min_size=1,
+    max_size=8,
+)
+
+
+def as_set(patterns):
+    return {(p.items, p.count) for p in patterns}
+
+
+class TestHandcrafted:
+    @pytest.fixture
+    def db(self):
+        return SequenceDatabase([
+            ["a", "b", "c"],
+            ["a", "b"],
+            ["a", "c"],
+            ["b", "c"],
+        ])
+
+    def test_exact_patterns_at_half_support(self, db):
+        patterns = {p.items: p.count for p in prefixspan(db, 0.5)}
+        assert patterns == {
+            ("a",): 3, ("b",): 3, ("c",): 3,
+            ("a", "b"): 2, ("a", "c"): 2, ("b", "c"): 2,
+        }
+
+    def test_full_support_only_universal(self, db):
+        assert prefixspan(db, 1.0) == []
+
+    def test_support_one_quarter_includes_triple(self, db):
+        patterns = as_set(prefixspan(db, 0.25))
+        assert (("a", "b", "c"), 1) in patterns
+
+    def test_supports_are_fractions(self, db):
+        for p in prefixspan(db, 0.5):
+            assert p.support == pytest.approx(p.count / len(db))
+
+    def test_max_length_limit(self, db):
+        patterns = prefixspan(db, 0.25, MiningLimits(max_length=1))
+        assert all(len(p) == 1 for p in patterns)
+
+    def test_min_length_limit(self, db):
+        patterns = prefixspan(db, 0.25, MiningLimits(min_length=2))
+        assert all(len(p) >= 2 for p in patterns)
+        # But longer patterns still found via shorter (unemitted) prefixes.
+        assert any(len(p) == 3 for p in patterns)
+
+    def test_empty_db(self):
+        assert prefixspan(SequenceDatabase([]), 0.5) == []
+
+    def test_repeated_items_within_sequence(self):
+        db = SequenceDatabase([["a", "a", "b"], ["a", "b", "a"]])
+        patterns = {p.items: p.count for p in prefixspan(db, 1.0)}
+        assert patterns[("a", "a")] == 2
+        assert patterns[("a", "b")] == 2
+        assert ("a", "a", "b") not in patterns  # only in the first sequence
+
+    def test_canonical_ordering(self, db):
+        patterns = prefixspan(db, 0.25)
+        counts = [p.count for p in patterns]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestAprioriProperty:
+    def test_prefix_support_monotone(self, active_db):
+        patterns = prefixspan(active_db, 0.25, MiningLimits(max_length=3))
+        by_items = {p.items: p.count for p in patterns}
+        for items, count in by_items.items():
+            if len(items) >= 2:
+                prefix = items[:-1]
+                assert prefix in by_items
+                assert by_items[prefix] >= count
+
+    def test_lower_support_superset(self, active_db):
+        high = as_set(prefixspan(active_db, 0.6, MiningLimits(max_length=3)))
+        low = as_set(prefixspan(active_db, 0.3, MiningLimits(max_length=3)))
+        assert high <= low
+
+
+class TestAgainstOracle:
+    @given(small_dbs, st.sampled_from([0.25, 0.5, 0.75, 1.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce(self, raw, min_support):
+        db = SequenceDatabase(raw)
+        limits = MiningLimits(max_length=4)
+        assert as_set(prefixspan(db, min_support, limits)) == as_set(
+            bruteforce_mine(db, min_support, limits)
+        )
+
+    def test_bruteforce_requires_limit(self):
+        with pytest.raises(ValueError):
+            bruteforce_mine(SequenceDatabase([["a"]]), 0.5, MiningLimits())
+
+
+class TestMiningLimits:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MiningLimits(min_length=0)
+        with pytest.raises(ValueError):
+            MiningLimits(min_length=3, max_length=2)
+
+    def test_admits(self):
+        assert MiningLimits().admits_longer_than(100)
+        assert MiningLimits(max_length=3).admits_longer_than(2)
+        assert not MiningLimits(max_length=3).admits_longer_than(3)

@@ -1,0 +1,117 @@
+"""Tests for place graphs."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.data import CheckIn, CheckInDataset
+from repro.mining import SequentialPattern
+from repro.patterns import (
+    UserPatternProfile,
+    build_pattern_graph,
+    build_place_graph,
+    place_importance,
+    top_transitions,
+)
+from repro.sequences import TimedItem, make_labeler
+from repro.taxonomy import AbstractionLevel
+
+UTC = timezone.utc
+
+
+def checkin(user, day, hour, cat):
+    return CheckIn(
+        user_id=user, venue_id=f"v-{cat}", category_id="", category_name=cat,
+        lat=40.7, lon=-74.0, tz_offset_min=0,
+        timestamp=datetime(2012, 4, day, hour, 0, 0, tzinfo=UTC),
+    )
+
+
+@pytest.fixture
+def crafted_graph(taxonomy):
+    # Two days Home->Work->Eatery, one day Home->Eatery.
+    ds = CheckInDataset([
+        checkin("u", 1, 8, "Home (private)"), checkin("u", 1, 9, "Corporate Office"),
+        checkin("u", 1, 12, "Thai Restaurant"),
+        checkin("u", 2, 8, "Home (private)"), checkin("u", 2, 9, "Corporate Office"),
+        checkin("u", 2, 12, "Thai Restaurant"),
+        checkin("u", 3, 8, "Home (private)"), checkin("u", 3, 12, "Thai Restaurant"),
+    ])
+    labeler = make_labeler(taxonomy, AbstractionLevel.ROOT)
+    return build_place_graph(ds, "u", labeler)
+
+
+class TestPlaceGraph:
+    def test_nodes_and_visits(self, crafted_graph):
+        assert set(crafted_graph.nodes) == {"Residence", "Work", "Eatery"}
+        assert crafted_graph.nodes["Residence"]["visits"] == 3
+        assert crafted_graph.nodes["Work"]["visits"] == 2
+
+    def test_edge_weights_and_days(self, crafted_graph):
+        assert crafted_graph["Residence"]["Work"]["weight"] == 2
+        assert crafted_graph["Residence"]["Work"]["days"] == 2
+        assert crafted_graph["Residence"]["Eatery"]["weight"] == 1
+        assert crafted_graph["Work"]["Eatery"]["weight"] == 2
+
+    def test_self_loops_excluded(self, taxonomy):
+        ds = CheckInDataset([
+            checkin("u", 1, 8, "Thai Restaurant"),
+            checkin("u", 1, 12, "Chinese Restaurant"),  # same ROOT label
+        ])
+        labeler = make_labeler(taxonomy, AbstractionLevel.ROOT)
+        graph = build_place_graph(ds, "u", labeler)
+        assert graph.number_of_edges() == 0
+
+    def test_top_transitions(self, crafted_graph):
+        transitions = top_transitions(crafted_graph, k=2)
+        assert transitions[0][:2] in {("Residence", "Work"), ("Work", "Eatery")}
+        assert transitions[0][2] == 2
+
+    def test_place_importance_sums_to_one(self, crafted_graph):
+        importance = place_importance(crafted_graph)
+        assert sum(importance.values()) == pytest.approx(1.0)
+        assert importance["Eatery"] > importance["Residence"]  # sink of all paths
+
+    def test_importance_edgeless_graph(self, taxonomy):
+        ds = CheckInDataset([checkin("u", 1, 8, "Thai Restaurant")])
+        labeler = make_labeler(taxonomy, AbstractionLevel.ROOT)
+        graph = build_place_graph(ds, "u", labeler)
+        assert place_importance(graph) == {"Eatery": 1.0}
+
+    def test_empty_user(self, taxonomy):
+        ds = CheckInDataset([checkin("u", 1, 8, "Thai Restaurant")])
+        labeler = make_labeler(taxonomy, AbstractionLevel.ROOT)
+        graph = build_place_graph(ds, "ghost", labeler)
+        assert graph.number_of_nodes() == 0
+        assert place_importance(graph) == {}
+
+
+class TestPatternGraph:
+    def test_from_patterns(self):
+        profile = UserPatternProfile(
+            user_id="u",
+            patterns=(
+                SequentialPattern(items=(TimedItem(9, "Work"), TimedItem(12, "Eatery")),
+                                  count=30, support=0.6),
+                SequentialPattern(items=(TimedItem(12, "Eatery"),), count=40, support=0.8),
+            ),
+            n_days=50,
+        )
+        graph = build_pattern_graph(profile)
+        assert set(graph.nodes) == {"Work", "Eatery"}
+        assert graph.nodes["Eatery"]["support"] == pytest.approx(0.8)
+        assert graph.nodes["Eatery"]["bins"] == [12]
+        assert graph["Work"]["Eatery"]["weight"] == pytest.approx(0.6)
+
+    def test_same_label_edges_skipped(self):
+        profile = UserPatternProfile(
+            user_id="u",
+            patterns=(
+                SequentialPattern(items=(TimedItem(9, "Eatery"), TimedItem(12, "Eatery")),
+                                  count=5, support=0.5),
+            ),
+            n_days=10,
+        )
+        graph = build_pattern_graph(profile)
+        assert graph.number_of_edges() == 0
+        assert graph.nodes["Eatery"]["bins"] == [9, 12]

@@ -1,0 +1,94 @@
+"""Tests for pattern/sequence similarity measures."""
+
+import numpy as np
+import pytest
+
+from repro.mining import SequentialPattern
+from repro.patterns import (
+    UserPatternProfile,
+    jaccard_similarity,
+    pattern_set_similarity,
+    profile_similarity_matrix,
+    sequence_edit_similarity,
+)
+from repro.sequences import TimedItem
+
+
+def profile(user_id, *item_tuples):
+    patterns = tuple(
+        SequentialPattern(items=tuple(TimedItem(b, l) for b, l in items),
+                          count=5, support=0.5)
+        for items in item_tuples
+    )
+    return UserPatternProfile(user_id=user_id, patterns=patterns, n_days=10)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_partial(self):
+        assert jaccard_similarity({1, 2, 3}, {2, 3, 4}) == pytest.approx(0.5)
+
+    def test_both_empty(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+
+class TestPatternSetSimilarity:
+    def test_same_items_full_similarity(self):
+        a = profile("a", [(12, "Eatery")])
+        b = profile("b", [(12, "Eatery")])
+        assert pattern_set_similarity(a, b) == 1.0
+
+    def test_partial_overlap(self):
+        a = profile("a", [(12, "Eatery"), (9, "Work")])
+        b = profile("b", [(12, "Eatery")])
+        assert 0.0 < pattern_set_similarity(a, b) < 1.0
+
+    def test_different_bins_no_overlap(self):
+        a = profile("a", [(12, "Eatery")])
+        b = profile("b", [(13, "Eatery")])
+        assert pattern_set_similarity(a, b) == 0.0
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        seq = (TimedItem(1, "a"), TimedItem(2, "b"))
+        assert sequence_edit_similarity(seq, seq) == 1.0
+
+    def test_empty_pair(self):
+        assert sequence_edit_similarity((), ()) == 1.0
+
+    def test_completely_different(self):
+        a = (TimedItem(1, "a"),)
+        b = (TimedItem(2, "b"),)
+        assert sequence_edit_similarity(a, b) == 0.0
+
+    def test_one_substitution(self):
+        a = (TimedItem(1, "a"), TimedItem(2, "b"), TimedItem(3, "c"))
+        b = (TimedItem(1, "a"), TimedItem(2, "x"), TimedItem(3, "c"))
+        assert sequence_edit_similarity(a, b) == pytest.approx(2 / 3)
+
+    def test_symmetry(self):
+        a = (TimedItem(1, "a"), TimedItem(2, "b"))
+        b = (TimedItem(1, "a"),)
+        assert sequence_edit_similarity(a, b) == sequence_edit_similarity(b, a)
+
+
+class TestSimilarityMatrix:
+    def test_shape_and_diagonal(self):
+        profiles = {
+            "a": profile("a", [(12, "Eatery")]),
+            "b": profile("b", [(12, "Eatery")]),
+            "c": profile("c", [(9, "Work")]),
+        }
+        ids, matrix = profile_similarity_matrix(profiles)
+        assert ids == ["a", "b", "c"]
+        assert matrix.shape == (3, 3)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert np.allclose(matrix, matrix.T)
+        assert matrix[0, 1] == 1.0
+        assert matrix[0, 2] == 0.0

@@ -1,0 +1,47 @@
+"""Tests for profile summarization."""
+
+from repro.mining import SequentialPattern
+from repro.patterns import UserPatternProfile, describe_pattern, summarize_profile
+from repro.sequences import TimedItem
+
+
+def make_profile(n_patterns=2):
+    patterns = tuple(
+        SequentialPattern(
+            items=(TimedItem(9, "Work"), TimedItem(12, "Eatery"))[:i + 1],
+            count=30 - i, support=(30 - i) / 50,
+        )
+        for i in range(n_patterns)
+    )
+    return UserPatternProfile(user_id="u1", patterns=patterns, n_days=50)
+
+
+class TestDescribe:
+    def test_single_item(self):
+        profile = make_profile(1)
+        text = describe_pattern(profile.patterns[0], profile)
+        assert "Work around 09:00-10:00" in text
+        assert "60%" in text
+        assert "(30/50)" in text
+
+    def test_multi_item_uses_then(self):
+        profile = make_profile(2)
+        text = describe_pattern(profile.patterns[1], profile)
+        assert ", then Eatery around 12:00-13:00" in text
+
+
+class TestSummarize:
+    def test_contains_header_and_patterns(self):
+        text = summarize_profile(make_profile(2))
+        assert "User u1: 2 patterns over 50 recorded days" in text
+        assert text.count("\n  - ") == 2
+
+    def test_empty_profile(self):
+        profile = UserPatternProfile(user_id="u2", patterns=(), n_days=5)
+        text = summarize_profile(profile)
+        assert "no routine detected" in text
+
+    def test_truncation_note(self):
+        profile = make_profile(2)
+        text = summarize_profile(profile, k=1)
+        assert "and 1 more" in text

@@ -1,0 +1,150 @@
+"""Tests for the next-place predictors."""
+
+import pytest
+
+from repro.mining import SequentialPattern
+from repro.prediction import (
+    FrequencyPredictor,
+    MarkovPredictor,
+    PatternBasedPredictor,
+    RNNPredictor,
+    prediction_examples,
+    split_sequences,
+)
+
+
+TRAIN = [
+    ["home", "work", "lunch", "work", "home"],
+    ["home", "work", "lunch", "work", "gym"],
+    ["home", "work", "lunch", "work", "home"],
+    ["home", "cafe", "work", "lunch"],
+]
+
+
+class TestSplit:
+    def test_chronological(self):
+        train, test = split_sequences(TRAIN, 0.5)
+        assert train == TRAIN[:2]
+        assert test == TRAIN[2:]
+
+    def test_never_empty_train(self):
+        train, test = split_sequences(TRAIN, 0.01)
+        assert len(train) == 1
+
+    def test_invalid_frac(self):
+        with pytest.raises(ValueError):
+            split_sequences(TRAIN, 1.0)
+
+    def test_examples(self):
+        examples = prediction_examples([["a", "b", "c"]])
+        assert examples == [(("a",), "b"), (("a", "b"), "c")]
+        assert prediction_examples([["solo"]]) == []
+
+
+class TestFrequency:
+    def test_ranks_by_count(self):
+        predictor = FrequencyPredictor().fit(TRAIN)
+        assert predictor.predict([], k=2) == ["work", "home"]
+
+    def test_ignores_prefix(self):
+        predictor = FrequencyPredictor().fit(TRAIN)
+        assert predictor.predict(["gym"], k=1) == predictor.predict([], k=1)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyPredictor().fit(TRAIN).predict([], k=0)
+
+    def test_empty_training(self):
+        assert FrequencyPredictor().fit([]).predict([], k=3) == []
+
+
+class TestMarkov:
+    def test_order1_transitions(self):
+        predictor = MarkovPredictor(1).fit(TRAIN)
+        assert predictor.predict(["work"], k=1) == ["lunch"]
+        assert predictor.predict(["home"], k=1) == ["work"]
+
+    def test_order2_uses_longer_context(self):
+        sequences = [
+            ["a", "b", "x"],
+            ["a", "b", "x"],
+            ["c", "b", "y"],
+            ["c", "b", "y"],
+        ]
+        order1 = MarkovPredictor(1).fit(sequences)
+        order2 = MarkovPredictor(2).fit(sequences)
+        # Order 1 sees b->x and b->y equally; order 2 disambiguates via a/c.
+        assert order2.predict(["a", "b"], k=1) == ["x"]
+        assert order2.predict(["c", "b"], k=1) == ["y"]
+        assert set(order1.predict(["a", "b"], k=2)) == {"x", "y"}
+
+    def test_backoff_to_frequency(self):
+        predictor = MarkovPredictor(1).fit(TRAIN)
+        assert predictor.predict(["never-seen"], k=1) == ["work"]
+
+    def test_backoff_fills_k(self):
+        predictor = MarkovPredictor(1).fit(TRAIN)
+        top = predictor.predict(["work"], k=4)
+        assert top[0] == "lunch"
+        assert len(top) == 4
+        assert len(set(top)) == 4
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            MarkovPredictor(0)
+
+
+class TestPatternBased:
+    def patterns(self):
+        return [
+            SequentialPattern(items=("work", "lunch"), count=9, support=0.9),
+            SequentialPattern(items=("lunch", "gym"), count=5, support=0.5),
+            SequentialPattern(items=("home",), count=8, support=0.8),
+        ]
+
+    def test_matched_prefix_drives_prediction(self):
+        predictor = PatternBasedPredictor(self.patterns()).fit(TRAIN)
+        assert predictor.predict(["home", "work"], k=1) == ["lunch"]
+        assert predictor.predict(["work", "lunch"], k=1) == ["gym"]
+
+    def test_single_item_pattern_acts_as_prior(self):
+        predictor = PatternBasedPredictor(self.patterns()).fit(TRAIN)
+        top = predictor.predict([], k=3)
+        assert "home" in top
+
+    def test_fallback_used_when_no_pattern_matches(self):
+        predictor = PatternBasedPredictor([]).fit(TRAIN)
+        assert predictor.predict(["work"], k=1) == ["lunch"]  # markov fallback
+
+    def test_matched_prefix_len(self):
+        f = PatternBasedPredictor._matched_prefix_len
+        assert f(("a", "b"), ["x", "a", "y", "b"]) == 2
+        assert f(("a", "b"), ["b", "a"]) == 1
+        assert f(("a",), []) == 0
+
+
+class TestRNN:
+    def test_learns_deterministic_cycle(self):
+        sequences = [["a", "b", "c", "a", "b", "c"]] * 8
+        predictor = RNNPredictor(hidden_size=16, embed_size=8, epochs=40, seed=3)
+        predictor.fit(sequences)
+        assert predictor.predict(["a"], k=1) == ["b"]
+        assert predictor.predict(["a", "b"], k=1) == ["c"]
+
+    def test_deterministic_given_seed(self):
+        p1 = RNNPredictor(epochs=5, seed=7).fit(TRAIN)
+        p2 = RNNPredictor(epochs=5, seed=7).fit(TRAIN)
+        assert p1.predict(["home"], k=3) == p2.predict(["home"], k=3)
+
+    def test_unseen_tokens_skipped(self):
+        predictor = RNNPredictor(epochs=5, seed=0).fit(TRAIN)
+        top = predictor.predict(["martian"], k=2)
+        assert len(top) == 2  # falls back to bias ranking
+
+    def test_empty_training(self):
+        predictor = RNNPredictor(epochs=2).fit([])
+        assert predictor.predict(["a"], k=1) == []
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RNNPredictor(hidden_size=0)

@@ -1,0 +1,64 @@
+"""Tests for stay-point detection."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.sequences import Fix, detect_stay_points
+
+UTC = timezone.utc
+T0 = datetime(2012, 4, 1, 9, 0, 0, tzinfo=UTC)
+
+
+def fix(minutes, lat, lon):
+    return Fix(timestamp=T0 + timedelta(minutes=minutes), lat=lat, lon=lon)
+
+
+class TestDetection:
+    def test_single_dwell(self):
+        # 30 minutes around one spot, then a jump away.
+        trace = [fix(i * 5, 40.7000 + 0.0001 * (i % 2), -74.0000) for i in range(7)]
+        trace.append(fix(40, 40.7500, -74.0000))
+        stays = detect_stay_points(trace, distance_threshold_m=200, time_threshold_s=20 * 60)
+        assert len(stays) == 1
+        stay = stays[0]
+        assert stay.n_fixes == 7
+        assert stay.duration_s == pytest.approx(30 * 60)
+        assert stay.location.distance_to(GeoPoint(40.7, -74.0)) < 50
+
+    def test_moving_trace_has_no_stays(self):
+        trace = [fix(i * 5, 40.70 + 0.01 * i, -74.0) for i in range(10)]
+        assert detect_stay_points(trace) == []
+
+    def test_two_separate_dwells(self):
+        home = [fix(i * 10, 40.70, -74.00) for i in range(4)]
+        work = [fix(60 + i * 10, 40.75, -73.95) for i in range(4)]
+        stays = detect_stay_points(home + work, 200, 20 * 60)
+        assert len(stays) == 2
+        assert stays[0].departure <= stays[1].arrival
+
+    def test_short_dwell_below_time_threshold(self):
+        trace = [fix(0, 40.70, -74.00), fix(5, 40.70, -74.00), fix(10, 40.80, -74.0)]
+        assert detect_stay_points(trace, 200, 20 * 60) == []
+
+    def test_empty_trace(self):
+        assert detect_stay_points([]) == []
+
+    def test_unsorted_raises(self):
+        with pytest.raises(ValueError, match="sorted"):
+            detect_stay_points([fix(10, 40.7, -74.0), fix(0, 40.7, -74.0)])
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            detect_stay_points([], distance_threshold_m=0)
+        with pytest.raises(ValueError):
+            detect_stay_points([], time_threshold_s=-1)
+
+    def test_distance_threshold_widens_cluster(self):
+        # Points drifting ~150 m apart: tight threshold splits, loose keeps one.
+        trace = [fix(i * 10, 40.70 + 0.0013 * i, -74.00) for i in range(6)]
+        loose = detect_stay_points(trace, distance_threshold_m=800, time_threshold_s=20 * 60)
+        tight = detect_stay_points(trace, distance_threshold_m=100, time_threshold_s=20 * 60)
+        assert len(loose) >= 1
+        assert len(tight) == 0

@@ -1,0 +1,77 @@
+"""Tests for time-of-day binning."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.sequences import FOUR_HOURLY, HOURLY, TWO_HOURLY, TimeBinning
+
+
+class TestConstruction:
+    def test_presets(self):
+        assert HOURLY.n_bins == 24
+        assert TWO_HOURLY.n_bins == 12
+        assert FOUR_HOURLY.n_bins == 6
+
+    @pytest.mark.parametrize("width", [0, -1, 5, 7, 24.5])
+    def test_invalid_widths(self, width):
+        with pytest.raises(ValueError):
+            TimeBinning(width)
+
+    def test_fractional_width_allowed(self):
+        assert TimeBinning(0.5).n_bins == 48
+
+
+class TestBinning:
+    def test_hour_boundaries(self):
+        assert HOURLY.bin_of_hour(0.0) == 0
+        assert HOURLY.bin_of_hour(8.99) == 8
+        assert HOURLY.bin_of_hour(9.0) == 9
+        assert HOURLY.bin_of_hour(23.99) == 23
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            HOURLY.bin_of_hour(24.0)
+        with pytest.raises(ValueError):
+            HOURLY.bin_of_hour(-0.1)
+
+    def test_bin_of_datetime_uses_local_clock(self):
+        tz = timezone(timedelta(minutes=-240))
+        local = datetime(2012, 4, 1, 9, 30, 0, tzinfo=tz)
+        assert HOURLY.bin_of(local) == 9
+
+    def test_two_hourly(self):
+        assert TWO_HOURLY.bin_of_hour(9.5) == 4
+        assert TWO_HOURLY.bin_of_hour(23.0) == 11
+
+
+class TestLabelsAndBounds:
+    def test_bounds(self):
+        assert HOURLY.bounds(9) == (9.0, 10.0)
+        assert FOUR_HOURLY.bounds(5) == (20.0, 24.0)
+
+    def test_bounds_out_of_range(self):
+        with pytest.raises(ValueError):
+            HOURLY.bounds(24)
+
+    def test_label_format(self):
+        assert HOURLY.label(9) == "09:00-10:00"
+        assert TimeBinning(0.5).label(19) == "09:30-10:00"
+
+    def test_all_labels(self):
+        labels = HOURLY.all_labels()
+        assert len(labels) == 24
+        assert labels[0] == "00:00-01:00"
+
+
+class TestDistance:
+    def test_plain_distance(self):
+        assert HOURLY.distance(9, 11) == 2
+
+    def test_circular_wraps_midnight(self):
+        assert HOURLY.distance(23, 0) == 1
+        assert HOURLY.distance(0, 23) == 1
+        assert HOURLY.distance(1, 22) == 3
+
+    def test_max_distance_is_half_day(self):
+        assert HOURLY.distance(0, 12) == 12

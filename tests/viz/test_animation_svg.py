@@ -1,0 +1,51 @@
+"""Tests for the animated-SVG crowd export."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.crowd import build_animation
+from repro.viz import render_animated_crowd
+
+
+class TestAnimatedSvg:
+    @pytest.fixture(scope="class")
+    def frames(self, pipeline_result):
+        return build_animation(pipeline_result.timeline, steps_per_transition=2)
+
+    def test_valid_xml(self, frames, pipeline_result):
+        svg = render_animated_crowd(frames, pipeline_result.grid)
+        doc = xml.dom.minidom.parseString(svg)
+        assert doc.documentElement.tagName == "svg"
+
+    def test_one_circle_per_user(self, frames, pipeline_result):
+        svg = render_animated_crowd(frames, pipeline_result.grid)
+        doc = xml.dom.minidom.parseString(svg)
+        circles = doc.getElementsByTagName("circle")
+        users = {d.user_id for f in frames for d in f.dots}
+        assert len(circles) == len(users)
+
+    def test_animate_elements_cover_xy_opacity(self, frames, pipeline_result):
+        svg = render_animated_crowd(frames, pipeline_result.grid)
+        doc = xml.dom.minidom.parseString(svg)
+        attrs = {a.getAttribute("attributeName")
+                 for a in doc.getElementsByTagName("animate")}
+        assert attrs == {"cx", "cy", "opacity"}
+
+    def test_keytimes_match_frame_count(self, frames, pipeline_result):
+        svg = render_animated_crowd(frames, pipeline_result.grid)
+        doc = xml.dom.minidom.parseString(svg)
+        animate = doc.getElementsByTagName("animate")[0]
+        values = animate.getAttribute("values").split(";")
+        key_times = animate.getAttribute("keyTimes").split(";")
+        assert len(values) == len(frames)
+        assert len(key_times) == len(frames)
+        assert key_times[0] == "0.0000"
+
+    def test_empty_frames_raise(self, pipeline_result):
+        with pytest.raises(ValueError):
+            render_animated_crowd([], pipeline_result.grid)
+
+    def test_invalid_speed(self, frames, pipeline_result):
+        with pytest.raises(ValueError):
+            render_animated_crowd(frames, pipeline_result.grid, seconds_per_frame=0)

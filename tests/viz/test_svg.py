@@ -1,0 +1,106 @@
+"""Tests for the SVG builder."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.viz import SvgCanvas
+
+
+def parse(svg: str):
+    return xml.dom.minidom.parseString(svg)
+
+
+class TestCanvas:
+    def test_empty_document_valid(self):
+        doc = parse(SvgCanvas(100, 50).to_string())
+        root = doc.documentElement
+        assert root.tagName == "svg"
+        assert root.getAttribute("width") == "100"
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+
+    def test_background_rect(self):
+        svg = SvgCanvas(10, 10, background="#fff").to_string()
+        assert '<rect' in svg and '#fff' in svg
+
+    def test_shapes_render(self):
+        canvas = SvgCanvas(200, 100)
+        canvas.line(0, 0, 10, 10, stroke="#000")
+        canvas.rect(5, 5, 20, 10, fill="#123456", rx=2)
+        canvas.circle(50, 50, 5, fill="#abc")
+        canvas.polyline([(0, 0), (5, 5), (10, 0)], stroke="#000")
+        canvas.path("M 0 0 L 10 10", stroke="#000")
+        canvas.text(10, 20, "hello", fill="#000")
+        doc = parse(canvas.to_string())
+        for tag in ("line", "rect", "circle", "polyline", "path", "text"):
+            assert doc.getElementsByTagName(tag), tag
+
+    def test_tooltip_becomes_title_child(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.circle(10, 10, 3, fill="#000", tooltip="dot & detail <1>")
+        doc = parse(canvas.to_string())
+        titles = doc.getElementsByTagName("title")
+        assert titles[0].firstChild.data == "dot & detail <1>"
+
+    def test_text_escaped(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.text(0, 0, "<script>&", fill="#000")
+        svg = canvas.to_string()
+        assert "<script>" not in svg
+        assert "&lt;script&gt;&amp;" in svg
+
+    def test_attribute_quoting(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.rect(0, 0, 10, 10, fill='va"lue')
+        parse(canvas.to_string())  # must not blow up
+
+    def test_groups_must_balance(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.group()
+        with pytest.raises(ValueError, match="unclosed"):
+            canvas.to_string()
+        canvas.endgroup()
+        parse(canvas.to_string())
+
+    def test_endgroup_without_group(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(10, 10).endgroup()
+
+    def test_rotated_text_has_transform(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.text(10, 10, "tilt", fill="#000", rotate=-90)
+        assert "rotate(-90 10 10)" in canvas.to_string()
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(10, 10)
+        out = canvas.save(tmp_path / "sub" / "x.svg")
+        assert out.exists()
+        parse(out.read_text())
+
+    def test_negative_rect_clamped(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.rect(0, 0, -5, -5, fill="#000")
+        doc = parse(canvas.to_string())
+        rect = doc.getElementsByTagName("rect")[0]
+        assert rect.getAttribute("width") == "0"
+
+
+class TestEscapingFuzz:
+    """Arbitrary text anywhere in the document must keep it well-formed."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    nasty = st.text(max_size=60)
+
+    @given(text=nasty, tooltip=nasty)
+    @settings(max_examples=60, deadline=None)
+    def test_any_text_yields_valid_xml(self, text, tooltip):
+        canvas = SvgCanvas(100, 100)
+        canvas.text(5, 5, text, fill="#000")
+        canvas.circle(10, 10, 2, fill="#000", tooltip=tooltip)
+        canvas.rect(0, 0, 5, 5, fill=f"c{text[:8]}")  # attribute position too
+        parse(canvas.to_string())

@@ -1,0 +1,96 @@
+"""Tests for the socket-free JSON API."""
+
+import pytest
+
+from repro.web import CrowdWebAPI
+
+
+@pytest.fixture(scope="module")
+def api(pipeline_result):
+    return CrowdWebAPI(pipeline_result)
+
+
+class TestUsers:
+    def test_users_listing(self, api, pipeline_result):
+        payload = api.users()
+        assert payload["n_users"] == pipeline_result.n_users
+        row = payload["users"][0]
+        assert {"user_id", "n_patterns", "n_days", "top_labels"} <= set(row)
+
+    def test_user_profile(self, api, pipeline_result):
+        uid = sorted(pipeline_result.profiles)[0]
+        payload = api.user(uid)
+        assert payload["user_id"] == uid
+        assert isinstance(payload["patterns"], list)
+
+    def test_unknown_user_none(self, api):
+        assert api.user("ghost") is None
+
+
+class TestCrowd:
+    def test_snapshot_payload(self, api):
+        payload = api.crowd(9)
+        assert payload["window"] == "09:00-10:00"
+        assert "placements" in payload and "groups" in payload
+
+    def test_out_of_range(self, api):
+        with pytest.raises(IndexError):
+            api.crowd(99)
+
+    def test_summary_has_24_windows(self, api):
+        payload = api.crowd_summary()
+        assert len(payload["windows"]) == 24
+
+    def test_flows_bounds(self, api):
+        payload = api.flows(9)
+        assert payload["from"] == "09:00-10:00"
+        with pytest.raises(IndexError):
+            api.flows(23)  # no next window
+
+    def test_animation(self, api):
+        payload = api.animation(steps_per_transition=2)
+        assert payload["n_frames"] == len(payload["frames"])
+        assert payload["n_frames"] > 0
+
+
+class TestStats:
+    def test_stats_payload(self, api):
+        payload = api.stats()
+        assert "check-ins" in payload
+        assert "preprocess" in payload
+
+
+class TestOccupancy:
+    def test_matrix_shape(self, api):
+        payload = api.occupancy()
+        assert len(payload["windows"]) == 24
+        for row in payload["cells"]:
+            assert len(row["counts"]) == 24
+            assert row["cell_id"].startswith("r")
+
+
+class TestCommunities:
+    def test_payload(self, api, pipeline_result):
+        payload = api.communities(min_similarity=0.05)
+        users = [u for c in payload["communities"] for u in c["users"]]
+        assert sorted(users) == sorted(pipeline_result.profiles)
+
+
+class TestUserMetrics:
+    def test_known_user(self, api, pipeline_result):
+        uid = sorted(pipeline_result.profiles)[0]
+        payload = api.user_metrics(uid)
+        assert payload["user_id"] == uid
+        assert 0.0 < payload["predictability_bound"] <= 1.0
+        assert payload["entropy_uncorrelated"] <= payload["entropy_random"] + 1e-9
+
+    def test_unknown_user(self, api):
+        assert api.user_metrics("ghost") is None
+
+
+class TestSpikes:
+    def test_payload_shape(self, api):
+        payload = api.spikes(z_threshold=3.0)
+        assert payload["z_threshold"] == 3.0
+        for spike in payload["spikes"]:
+            assert {"day", "cell", "cell_id", "count", "z_score"} <= set(spike)

@@ -1,0 +1,149 @@
+"""Tests for routing and the live HTTP server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.web import CrowdWebAPI, CrowdWebServer, Pages, route_request
+
+
+@pytest.fixture(scope="module")
+def handlers(pipeline_result):
+    return CrowdWebAPI(pipeline_result), Pages(pipeline_result)
+
+
+class TestRouting:
+    @pytest.mark.parametrize("path,content_type", [
+        ("/", "text/html; charset=utf-8"),
+        ("/users", "text/html; charset=utf-8"),
+        ("/city", "text/html; charset=utf-8"),
+        ("/city?window=3", "text/html; charset=utf-8"),
+        ("/animation", "text/html; charset=utf-8"),
+        ("/occupancy", "text/html; charset=utf-8"),
+        ("/communities", "text/html; charset=utf-8"),
+        ("/analytics", "text/html; charset=utf-8"),
+        ("/api/users", "application/json"),
+        ("/api/crowd", "application/json"),
+        ("/api/crowd/9", "application/json"),
+        ("/api/flows/8", "application/json"),
+        ("/api/animation", "application/json"),
+        ("/api/stats", "application/json"),
+        ("/api/occupancy", "application/json"),
+        ("/api/communities", "application/json"),
+        ("/api/communities?min_similarity=0.2", "application/json"),
+    ])
+    def test_routes_ok(self, handlers, path, content_type):
+        status, ctype, body = route_request(*handlers, path)
+        assert status == 200
+        assert ctype == content_type
+        assert body
+
+    def test_user_page(self, handlers, pipeline_result):
+        uid = sorted(pipeline_result.profiles)[0]
+        status, _, body = route_request(*handlers, f"/user/{uid}")
+        assert status == 200
+        assert uid in body
+
+    def test_unknown_user_404(self, handlers):
+        status, _, body = route_request(*handlers, "/user/ghost")
+        assert status == 404
+        assert "ghost" in body
+
+    def test_unknown_path_404(self, handlers):
+        status, _, _ = route_request(*handlers, "/nope/deep")
+        assert status == 404
+
+    def test_bad_params_400(self, handlers):
+        status, _, _ = route_request(*handlers, "/api/crowd/banana")
+        assert status == 400
+        status, _, _ = route_request(*handlers, "/api/crowd/999")
+        assert status == 400
+
+    def test_city_window_clamped(self, handlers):
+        status, _, _ = route_request(*handlers, "/city?window=999")
+        assert status == 200
+
+    def test_metrics_route(self, handlers, pipeline_result):
+        uid = sorted(pipeline_result.profiles)[0]
+        status, _, body = route_request(*handlers, f"/api/metrics/{uid}")
+        assert status == 200
+        assert json.loads(body)["user_id"] == uid
+        status, _, _ = route_request(*handlers, "/api/metrics/ghost")
+        assert status == 404
+
+    def test_json_payloads_parse(self, handlers):
+        _, _, body = route_request(*handlers, "/api/crowd/9")
+        payload = json.loads(body)
+        assert payload["window"] == "09:00-10:00"
+
+
+class TestLiveServer:
+    def test_round_trip(self, pipeline_result):
+        server = CrowdWebServer(pipeline_result, port=0).start()
+        try:
+            with urllib.request.urlopen(server.url + "/api/stats", timeout=10) as resp:
+                assert resp.status == 200
+                payload = json.loads(resp.read())
+                assert "check-ins" in payload
+            with urllib.request.urlopen(server.url + "/", timeout=10) as resp:
+                assert b"CrowdWeb" in resp.read()
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(server.url + "/user/ghost", timeout=10)
+        finally:
+            server.stop()
+
+
+class TestConcurrency:
+    def test_parallel_requests_all_succeed(self, pipeline_result):
+        import concurrent.futures
+
+        server = CrowdWebServer(pipeline_result, port=0).start()
+        paths = ["/api/users", "/api/crowd", "/api/stats", "/", "/users",
+                 "/api/crowd/9", "/city"] * 4
+        try:
+            def fetch(path):
+                with urllib.request.urlopen(server.url + path, timeout=15) as resp:
+                    return resp.status
+
+            with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+                statuses = list(pool.map(fetch, paths))
+            assert statuses == [200] * len(paths)
+        finally:
+            server.stop()
+
+    def test_server_stop_is_idempotent_safe(self, pipeline_result):
+        server = CrowdWebServer(pipeline_result, port=0).start()
+        server.stop()
+        # Stopping a stopped server must not hang or raise.
+        server._thread = None
+
+
+class TestSpikesRoute:
+    def test_route(self, handlers):
+        status, ctype, body = route_request(*handlers, "/api/spikes?z=3.5")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["z_threshold"] == 3.5
+
+
+class TestServeFromProfiles:
+    def test_prepare_from_profiles(self, pipeline_result, small_ds, tmp_path):
+        from repro.experiments import small_pipeline_config
+        from repro.persistence import save_profiles
+        from repro.web.__main__ import prepare_from_profiles
+
+        path = save_profiles(pipeline_result.profiles, tmp_path / "p.json")
+        result = prepare_from_profiles(small_ds, small_pipeline_config(), path)
+        assert result.n_users == pipeline_result.n_users
+        # The rebuilt platform serves identically.
+        api = CrowdWebAPI(result)
+        payload = api.users()
+        assert payload["n_users"] == pipeline_result.n_users
+        server = CrowdWebServer(result, port=0).start()
+        try:
+            with urllib.request.urlopen(server.url + "/api/crowd", timeout=10) as resp:
+                assert resp.status == 200
+        finally:
+            server.stop()
