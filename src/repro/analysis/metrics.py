@@ -34,6 +34,7 @@ __all__ = [
     "UserMobilityMetrics",
     "user_mobility_metrics",
     "fit_zipf_exponent",
+    "max_predictability",
 ]
 
 

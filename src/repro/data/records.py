@@ -17,7 +17,26 @@ import numpy as np
 
 from ..geo import BoundingBox, GeoPoint
 
-__all__ = ["Venue", "CheckIn", "CheckInDataset"]
+__all__ = ["Venue", "CheckIn", "CheckInDataset", "Fix"]
+
+
+@dataclass(frozen=True, order=True)
+class Fix:
+    """One timestamped GPS fix — the raw-trace counterpart of a check-in.
+
+    Lives in the data layer (it is a record, not a derived artifact) so that
+    both the synthetic trace generator below it and the stay-point detector
+    in :mod:`repro.sequences.staypoints` can share it without inverting the
+    package DAG.
+    """
+
+    timestamp: datetime
+    lat: float
+    lon: float
+
+    @property
+    def point(self) -> GeoPoint:
+        return GeoPoint(self.lat, self.lon)
 
 
 @dataclass(frozen=True)

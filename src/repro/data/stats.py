@@ -18,7 +18,13 @@ import numpy as np
 
 from .records import CheckInDataset
 
-__all__ = ["DatasetStats", "dataset_stats", "monthly_counts", "records_per_user_histogram"]
+__all__ = [
+    "DatasetStats",
+    "active_days_per_user",
+    "dataset_stats",
+    "monthly_counts",
+    "records_per_user_histogram",
+]
 
 
 def _month_key(ts: datetime) -> str:

@@ -17,8 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ...sequences.staypoints import Fix
-from ..records import Venue
+from ..records import Fix, Venue
 from .agents import AgentProfile
 from .city import SyntheticCity
 from .config import SynthConfig

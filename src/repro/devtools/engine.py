@@ -1,0 +1,281 @@
+"""The crowdlint engine: rule registry, per-file visitor dispatch, suppression.
+
+Design
+------
+A :class:`Rule` subclass declares ``visit_<NodeType>`` methods (same naming
+scheme as :class:`ast.NodeVisitor`) and/or a ``check_module`` hook that sees
+the whole file at once.  The engine instantiates every enabled rule per file,
+collects the visitor methods into a single dispatch table, and walks the AST
+**once** — so adding rules does not add tree traversals.
+
+Findings are reported through :meth:`FileContext.report` and filtered against
+suppression pragmas before they leave the engine.  Pragmas are read from real
+comment tokens only (``tokenize``), so pragma-shaped text inside strings and
+docstrings — like the examples right here — is inert:
+
+* ``# crowdlint: disable=CW101`` on a flagged line suppresses that rule there;
+* ``# crowdlint: disable=all`` suppresses every rule on that line;
+* ``# crowdlint: disable-file=CW105`` anywhere in the file suppresses the rule
+  for the whole file.
+
+The engine is stdlib-only on purpose (see package docstring).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintEngine",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "module_name_for",
+    "register",
+    "rule_registry",
+]
+
+#: Matches one suppression pragma; a line may carry several.
+_PRAGMA_RE = re.compile(r"#\s*crowdlint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, sortable into stable (path, line, col, rule) order."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (``CW1xx``), ``name`` (kebab-case slug) and
+    ``description`` and implement any combination of ``visit_<NodeType>``
+    methods and ``check_module``.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, ctx: "FileContext") -> None:
+        """Optional whole-module hook, called once per file before the walk."""
+
+    def visitor_methods(self) -> Iterable[Tuple[str, object]]:
+        for attr in dir(self):
+            if attr.startswith("visit_"):
+                yield attr[len("visit_"):], getattr(self, attr)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id or not cls.name:
+        raise ValueError(f"rule {cls.__name__} must define id and name")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def rule_registry() -> Dict[str, Type[Rule]]:
+    """The registry, with the built-in rules imported on first use."""
+    from . import rules  # noqa: F401  (importing registers the built-ins)
+
+    return dict(_REGISTRY)
+
+
+def all_rules() -> List[Type[Rule]]:
+    return [_REGISTRY[rule_id] for rule_id in sorted(rule_registry())]
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    try:
+        return rule_registry()[rule_id.upper()]
+    except KeyError:
+        raise KeyError(f"unknown rule id {rule_id!r}") from None
+
+
+class FileContext:
+    """Everything a rule can see about the file under analysis."""
+
+    def __init__(self, source: str, path: str, module: Optional[str], tree: ast.Module):
+        self.source = source
+        self.path = path
+        #: Dotted module name (``repro.crowd.sync``) or ``None`` when the file
+        #: is outside any importable package (e.g. a loose script).
+        self.module = module
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.findings: List[Finding] = []
+        self._line_disables, self._file_disables = _parse_pragmas(source)
+
+    @property
+    def is_init(self) -> bool:
+        return Path(self.path).name == "__init__.py"
+
+    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        self.findings.append(Finding(self.path, line, col, rule.id, message))
+
+    def suppressed(self, finding: Finding) -> bool:
+        if _matches(self._file_disables, finding.rule_id):
+            return True
+        return _matches(self._line_disables.get(finding.line, frozenset()), finding.rule_id)
+
+
+def _iter_comments(source: str) -> Iterable[Tuple[int, str]]:
+    """(line, text) for every real comment token; strings/docstrings excluded."""
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return  # unparseable tail: CW100 covers it; no pragmas beyond this point
+
+
+def _parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    line_disables: Dict[int, Set[str]] = {}
+    file_disables: Set[str] = set()
+    for lineno, text in _iter_comments(source):
+        if "crowdlint" not in text:
+            continue
+        for kind, spec in _PRAGMA_RE.findall(text):
+            ids = {part.strip().upper() for part in spec.split(",") if part.strip()}
+            if kind == "disable-file":
+                file_disables |= ids
+            else:
+                line_disables.setdefault(lineno, set()).update(ids)
+    return line_disables, file_disables
+
+
+def _matches(disabled: Iterable[str], rule_id: str) -> bool:
+    disabled = set(disabled)
+    return "ALL" in disabled or rule_id.upper() in disabled
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Infer the dotted module name by walking up through ``__init__.py`` dirs."""
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.insert(0, current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return ".".join(parts) or None
+
+
+class LintEngine:
+    """Runs a set of rules over files, sources, or directory trees."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Type[Rule]]] = None,
+        select: Optional[Iterable[str]] = None,
+        ignore: Optional[Iterable[str]] = None,
+    ):
+        chosen = list(rules) if rules is not None else all_rules()
+        if select:
+            wanted = {rule_id.upper() for rule_id in select}
+            chosen = [rule for rule in chosen if rule.id in wanted]
+        if ignore:
+            unwanted = {rule_id.upper() for rule_id in ignore}
+            chosen = [rule for rule in chosen if rule.id not in unwanted]
+        self.rules = chosen
+
+    # -- single file -------------------------------------------------------
+
+    def lint_source(
+        self, source: str, path: str = "<string>", module: Optional[str] = None
+    ) -> List[Finding]:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(path, exc.lineno or 1, (exc.offset or 0) or 1, "CW100",
+                        f"syntax error: {exc.msg}")
+            ]
+        ctx = FileContext(source, path, module, tree)
+        instances = [rule_cls() for rule_cls in self.rules]
+        dispatch: Dict[str, List[object]] = {}
+        for instance in instances:
+            instance.check_module(ctx)
+            for node_type, method in instance.visitor_methods():
+                dispatch.setdefault(node_type, []).append(method)
+        if dispatch:
+            for node in ast.walk(ctx.tree):
+                for method in dispatch.get(type(node).__name__, ()):
+                    method(ctx, node)
+        return sorted(f for f in ctx.findings if not ctx.suppressed(f))
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        path = Path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [Finding(str(path), 1, 1, "CW100", f"unreadable file: {exc}")]
+        return self.lint_source(source, str(path), module_name_for(path))
+
+    # -- trees -------------------------------------------------------------
+
+    def lint_paths(self, paths: Iterable[Path]) -> List[Finding]:
+        findings: List[Finding] = []
+        for file_path in iter_python_files(paths):
+            findings.extend(self.lint_file(file_path))
+        return sorted(findings)
+
+
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist", ".venv", "venv"}
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    """Yield ``.py`` files under ``paths`` in sorted order, skipping caches."""
+    seen: Set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not (set(candidate.parts) & _SKIP_DIRS)
+                and not any(part.endswith(".egg-info") for part in candidate.parts)
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate

@@ -1,0 +1,17 @@
+"""``python -m repro.devtools.lint`` — the canonical crowdlint entry point.
+
+Kept separate from :mod:`repro.devtools.cli` so the module name reads as a
+verb at the command line; the console script (``crowdweb-lint``) points here
+too.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+__all__ = ["main"]
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""CW103: timezone-naive datetime construction.
+
+Mobility records span timezones and DST transitions; a naive ``datetime``
+compares and subtracts incorrectly against the aware UTC timestamps the data
+layer produces, and ``utcnow()``/``utcfromtimestamp()`` return *naive* values
+despite their names (and are deprecated since Python 3.12).  The fix is always
+``datetime.now(timezone.utc)`` / ``datetime.fromtimestamp(ts, tz=timezone.utc)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, register
+from .common import identifier_of
+
+#: method name → minimum positional args for the call to be tz-aware, or
+#: ``None`` when the method is naive no matter what you pass it.
+_ALWAYS_NAIVE = {"utcnow", "utcfromtimestamp"}
+_TZ_ARG_POSITION = {"now": 0, "fromtimestamp": 1}
+_TZ_KEYWORDS = {"tz", "tzinfo"}
+
+
+@register
+class NaiveDatetimeRule(Rule):
+    id = "CW103"
+    name = "naive-datetime"
+    description = (
+        "datetime.now()/fromtimestamp() without a tz argument, or the "
+        "always-naive utcnow()/utcfromtimestamp()."
+    )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        owner = identifier_of(func.value)
+        if owner != "datetime":
+            return
+        method = func.attr
+        if method in _ALWAYS_NAIVE:
+            ctx.report(
+                self,
+                node,
+                f"datetime.{method}() returns a *naive* datetime; use "
+                "datetime.now(timezone.utc) / "
+                "datetime.fromtimestamp(ts, tz=timezone.utc)",
+            )
+            return
+        tz_position = _TZ_ARG_POSITION.get(method)
+        if tz_position is None:
+            return
+        has_tz = len(node.args) > tz_position or any(
+            keyword.arg in _TZ_KEYWORDS for keyword in node.keywords
+        )
+        if not has_tz:
+            ctx.report(
+                self,
+                node,
+                f"datetime.{method}() without a timezone is naive; pass "
+                "timezone.utc (or an explicit tzinfo)",
+            )

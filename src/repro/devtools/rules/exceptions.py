@@ -1,0 +1,80 @@
+"""CW106/CW107: bare excepts and swallowed exceptions.
+
+A multi-stage aggregation pipeline that catches everything and continues
+produces *partial* crowd maps that look complete.  Two rules:
+
+* **CW106** — ``except:`` with no exception type also traps
+  ``KeyboardInterrupt``/``SystemExit`` and hides programming errors.
+* **CW107** — ``except Exception: pass`` (a broad catch whose body neither
+  re-raises, logs, nor records anything) silently drops the failure.  Narrow
+  catches (``except KeyError: pass``) are allowed: they encode an expected
+  condition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Rule, register
+from .common import identifier_of
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _caught_types(handler: ast.ExceptHandler) -> Iterable[str]:
+    node = handler.type
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        return [identifier_of(element) or "" for element in node.elts]
+    return [identifier_of(node) or ""]
+
+
+def _body_is_silent(body: Iterable[ast.stmt]) -> bool:
+    """True when the handler body does nothing observable at all."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+@register
+class BareExceptRule(Rule):
+    id = "CW106"
+    name = "bare-except"
+    description = "except: with no exception type traps SystemExit and hides bugs."
+
+    def visit_ExceptHandler(self, ctx: FileContext, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare 'except:' — catch a specific exception type "
+                "(or at least Exception)",
+            )
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    id = "CW107"
+    name = "swallowed-exception"
+    description = (
+        "Broad except Exception whose body silently discards the error."
+    )
+
+    def visit_ExceptHandler(self, ctx: FileContext, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            return  # CW106's finding; don't double-report
+        if not any(name in _BROAD for name in _caught_types(node)):
+            return
+        if _body_is_silent(node.body):
+            ctx.report(
+                self,
+                node,
+                "broad exception swallowed silently; log it, re-raise, or "
+                "narrow the caught type",
+            )

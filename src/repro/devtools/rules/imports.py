@@ -1,0 +1,67 @@
+"""CW108: import-layering checker.
+
+Enforces the declared package DAG in :mod:`repro.devtools.layers`: every
+``repro``-internal import in a file under ``repro.<layer>`` must target either
+the same layer or one of its declared dependencies.  Files outside the
+``repro`` package (tests, scripts) are exempt — the rule polices the
+architecture, not its consumers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..engine import FileContext, Rule, register
+from ..layers import LAYER_MAP, layer_of, resolve_import
+
+
+@register
+class ImportLayerRule(Rule):
+    id = "CW108"
+    name = "import-layering"
+    description = (
+        "A repro package imports from a layer that is not among its declared "
+        "dependencies in the layer map."
+    )
+
+    def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check(ctx, node, alias.name)
+
+    def visit_ImportFrom(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        target = resolve_import(ctx.module, node.module, node.level, ctx.is_init)
+        if target is None:
+            return
+        if layer_of(target) is not None:
+            self._check(ctx, node, target)
+        else:
+            # ``from repro import crowd`` / ``from . import crowd`` — the base
+            # has no layer; each alias binds a subpackage one level deeper.
+            for alias in node.names:
+                if alias.name != "*":
+                    self._check(ctx, node, f"{target}.{alias.name}")
+
+    def _check(self, ctx: FileContext, node: ast.AST, target_module: Optional[str]) -> None:
+        source_layer = layer_of(ctx.module)
+        if source_layer is None or source_layer not in LAYER_MAP:
+            return
+        target_layer = layer_of(target_module)
+        if target_layer is None or target_layer == source_layer:
+            return
+        if target_layer not in LAYER_MAP:
+            ctx.report(
+                self,
+                node,
+                f"import of unknown layer 'repro.{target_layer}' — add it to "
+                "the layer map in repro/devtools/layers.py",
+            )
+            return
+        if target_layer not in LAYER_MAP[source_layer]:
+            allowed = ", ".join(sorted(LAYER_MAP[source_layer])) or "nothing internal"
+            ctx.report(
+                self,
+                node,
+                f"layer '{source_layer}' must not import 'repro.{target_layer}' "
+                f"(allowed: {allowed})",
+            )

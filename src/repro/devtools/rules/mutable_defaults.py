@@ -1,0 +1,80 @@
+"""CW104: mutable default arguments.
+
+A ``def f(acc=[])`` default is evaluated once at definition time; every call
+that mutates it leaks state into the next call.  In a long-lived server
+(``repro.web``) or an incremental miner this shows up as cross-request /
+cross-user contamination that no unit test on a fresh interpreter catches.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..engine import FileContext, Rule, register
+from .common import callee_name
+
+_MUTABLE_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "deque",
+}
+
+
+def _mutable_reason(node: Optional[ast.AST]) -> Optional[str]:
+    if node is None:
+        return None
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return f"literal {type(node).__name__.lower()}"
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, (ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call):
+        name = callee_name(node)
+        if name in _MUTABLE_CALLS:
+            return f"call to {name}()"
+    return None
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "CW104"
+    name = "mutable-default-argument"
+    description = "Function parameter default is a mutable object shared across calls."
+
+    def visit_FunctionDef(self, ctx: FileContext, node: ast.FunctionDef) -> None:
+        self._check(ctx, node)
+
+    def visit_AsyncFunctionDef(self, ctx: FileContext, node: ast.AsyncFunctionDef) -> None:
+        self._check(ctx, node)
+
+    def visit_Lambda(self, ctx: FileContext, node: ast.Lambda) -> None:
+        self._check(ctx, node)
+
+    def _check(self, ctx: FileContext, node: ast.AST) -> None:
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+            reason = _mutable_reason(default)
+            if reason:
+                ctx.report(
+                    self,
+                    default,
+                    f"parameter {arg.arg!r} defaults to a mutable {reason}; "
+                    "use None and create it inside the function",
+                )
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            reason = _mutable_reason(default)
+            if reason:
+                ctx.report(
+                    self,
+                    default,
+                    f"parameter {arg.arg!r} defaults to a mutable {reason}; "
+                    "use None and create it inside the function",
+                )

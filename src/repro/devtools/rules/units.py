@@ -1,0 +1,91 @@
+"""CW102: unit-suffix consistency.
+
+The codebase encodes units in identifier suffixes (``dist_m``, ``bearing_deg``,
+``dwell_s``); conversions go through named helpers (``haversine_m``,
+``destination_point``, ``math.radians``).  Adding or comparing a ``_m`` value
+to a ``_deg`` value is therefore almost always a bug — degrees of longitude
+are not meters, and the error scales with latitude, which is exactly the kind
+of silent corruption a crowd-aggregation pipeline cannot detect downstream.
+
+Flagged shapes (only when *both* sides carry a known, different unit):
+
+* ``a_m + b_deg`` / ``a_m - b_deg`` — additive mixing;
+* ``a_m < b_s`` (any comparison operator) — cross-unit comparison;
+* ``x_m = y_deg`` — plain renaming assignment that silently relabels a unit;
+* ``f(radius_m=angle_deg)`` — keyword argument whose name disagrees with the
+  value's unit.
+
+Multiplication and division are deliberately exempt: ratios and scale factors
+legitimately cross units.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import FileContext, Rule, register
+from .common import identifier_of, unit_of
+
+
+@register
+class UnitSuffixRule(Rule):
+    id = "CW102"
+    name = "unit-suffix-mismatch"
+    description = (
+        "Values whose name-suffix units differ (_m/_deg/_s/...) are added, "
+        "compared, assigned, or passed across without a conversion helper."
+    )
+
+    def visit_BinOp(self, ctx: FileContext, node: ast.BinOp) -> None:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        left = unit_of(identifier_of(node.left))
+        right = unit_of(identifier_of(node.right))
+        if left and right and left != right:
+            ctx.report(
+                self,
+                node,
+                f"mixing units: {ast.unparse(node.left)!r} is in {left} but "
+                f"{ast.unparse(node.right)!r} is in {right}; convert explicitly",
+            )
+
+    def visit_Compare(self, ctx: FileContext, node: ast.Compare) -> None:
+        left_unit = unit_of(identifier_of(node.left))
+        if not left_unit:
+            return
+        for comparator in node.comparators:
+            right_unit = unit_of(identifier_of(comparator))
+            if right_unit and right_unit != left_unit:
+                ctx.report(
+                    self,
+                    node,
+                    f"comparing {left_unit} ({ast.unparse(node.left)!r}) against "
+                    f"{right_unit} ({ast.unparse(comparator)!r})",
+                )
+
+    def visit_Assign(self, ctx: FileContext, node: ast.Assign) -> None:
+        value_unit = unit_of(identifier_of(node.value))
+        if not value_unit:
+            return
+        for target in node.targets:
+            target_unit = unit_of(identifier_of(target))
+            if target_unit and target_unit != value_unit:
+                ctx.report(
+                    self,
+                    node,
+                    f"assigning a {value_unit} value "
+                    f"({ast.unparse(node.value)!r}) to a {target_unit} name "
+                    f"({ast.unparse(target)!r}) without conversion",
+                )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            param_unit = unit_of(keyword.arg)
+            value_unit = unit_of(identifier_of(keyword.value))
+            if param_unit and value_unit and param_unit != value_unit:
+                ctx.report(
+                    self,
+                    keyword.value,
+                    f"keyword {keyword.arg!r} expects {param_unit} but "
+                    f"{ast.unparse(keyword.value)!r} is in {value_unit}",
+                )

@@ -12,7 +12,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Union
 
-__all__ = ["render_measured_markdown"]
+__all__ = ["main", "render_measured_markdown"]
 
 
 def _table(headers: List[str], rows: List[List[object]]) -> List[str]:

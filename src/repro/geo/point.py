@@ -22,6 +22,7 @@ __all__ = [
     "midpoint",
     "centroid",
     "normalize_lon",
+    "path_length_m",
     "validate_lat_lon",
 ]
 

@@ -11,24 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from datetime import datetime
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
+from ..data.records import Fix
 from ..geo import GeoPoint, centroid, haversine_m
 
 __all__ = ["Fix", "StayPoint", "detect_stay_points"]
-
-
-@dataclass(frozen=True, order=True)
-class Fix:
-    """One timestamped GPS fix."""
-
-    timestamp: datetime
-    lat: float
-    lon: float
-
-    @property
-    def point(self) -> GeoPoint:
-        return GeoPoint(self.lat, self.lon)
 
 
 @dataclass(frozen=True)

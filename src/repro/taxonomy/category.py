@@ -13,7 +13,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterator, List, Optional, Sequence
 
-__all__ = ["AbstractionLevel", "Category", "CategoryTree", "UnknownCategoryError"]
+__all__ = [
+    "AbstractionLevel",
+    "Category",
+    "CategoryTree",
+    "UnknownCategoryError",
+    "subtree_names",
+]
 
 
 class UnknownCategoryError(KeyError):

@@ -1,0 +1,30 @@
+"""Helpers shared by the crowdlint rule tests."""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Optional
+
+import pytest
+
+from repro.devtools import Finding, LintEngine
+
+
+@pytest.fixture
+def lint():
+    """Lint an inline source snippet with one rule (or all) and return findings."""
+
+    def _lint(
+        source: str,
+        rule: Optional[str] = None,
+        module: Optional[str] = None,
+        path: str = "snippet.py",
+    ) -> List[Finding]:
+        engine = LintEngine(select=[rule] if rule else None)
+        return engine.lint_source(textwrap.dedent(source), path=path, module=module)
+
+    return _lint
+
+
+def rule_ids(findings: List[Finding]) -> List[str]:
+    return [finding.rule_id for finding in findings]

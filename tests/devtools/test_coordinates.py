@@ -1,0 +1,44 @@
+"""CW101 lat-lon-order: positive and negative fixtures."""
+
+from __future__ import annotations
+
+
+def test_flags_swapped_positional_args(lint):
+    findings = lint("d = haversine_m(lon1, lat1, lon2, lat2)\n", rule="CW101")
+    assert len(findings) == 4
+    assert all(f.rule_id == "CW101" for f in findings)
+
+
+def test_flags_swapped_geopoint_constructor(lint):
+    findings = lint("p = GeoPoint(venue.lon, venue.lat)\n", rule="CW101")
+    assert len(findings) == 2
+    assert "expects a lat in position 1" in findings[0].message
+
+
+def test_flags_swapped_keyword_argument(lint):
+    findings = lint("validate_lat_lon(lat=point.lon, lon=point.lat)\n", rule="CW101")
+    assert len(findings) == 2
+
+
+def test_correct_order_is_clean(lint):
+    source = """\
+    d = haversine_m(a.lat, a.lon, b.lat, b.lon)
+    p = GeoPoint(lat, lon)
+    q = GeoPoint(lat=min_lat, lon=min_lon)
+    dest = destination_point(lat1, lon1, bearing, dist)
+    """
+    assert lint(source, rule="CW101") == []
+
+
+def test_unrelated_calls_and_opaque_args_are_clean(lint):
+    source = """\
+    plot(lon, lat)              # not a known geo signature
+    p = GeoPoint(coords[0], coords[1])   # opaque: no axis hint
+    d = haversine_m(*pair_a, *pair_b)
+    """
+    assert lint(source, rule="CW101") == []
+
+
+def test_latitude_longitude_long_names_classify(lint):
+    findings = lint("GeoPoint(start_longitude, start_latitude)\n", rule="CW101")
+    assert len(findings) == 2

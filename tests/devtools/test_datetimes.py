@@ -1,0 +1,41 @@
+"""CW103 naive-datetime: positive and negative fixtures."""
+
+from __future__ import annotations
+
+
+def test_flags_naive_now_and_utc_helpers(lint):
+    source = """\
+    from datetime import datetime
+    a = datetime.now()
+    b = datetime.utcnow()
+    c = datetime.utcfromtimestamp(ts)
+    d = datetime.fromtimestamp(ts)
+    """
+    findings = lint(source, rule="CW103")
+    assert len(findings) == 4
+    assert all(f.rule_id == "CW103" for f in findings)
+
+
+def test_flags_qualified_datetime_module(lint):
+    findings = lint("import datetime\nx = datetime.datetime.utcnow()\n", rule="CW103")
+    assert len(findings) == 1
+
+
+def test_aware_calls_are_clean(lint):
+    source = """\
+    from datetime import datetime, timezone
+    a = datetime.now(timezone.utc)
+    b = datetime.now(tz=timezone.utc)
+    c = datetime.fromtimestamp(ts, timezone.utc)
+    d = datetime.fromtimestamp(ts, tz=local_tz)
+    """
+    assert lint(source, rule="CW103") == []
+
+
+def test_unrelated_now_methods_are_clean(lint):
+    source = """\
+    clock.now()
+    pandas.Timestamp.now()
+    datetime.combine(day, time)
+    """
+    assert lint(source, rule="CW103") == []

@@ -1,0 +1,76 @@
+"""CW106 bare-except / CW107 swallowed-exception: positive and negative fixtures."""
+
+from __future__ import annotations
+
+
+def test_flags_bare_except(lint):
+    source = """\
+    try:
+        risky()
+    except:
+        handle()
+    """
+    findings = lint(source, rule="CW106")
+    assert len(findings) == 1
+    assert "bare" in findings[0].message
+
+
+def test_typed_except_is_clean_for_cw106(lint):
+    source = """\
+    try:
+        risky()
+    except ValueError:
+        handle()
+    """
+    assert lint(source, rule="CW106") == []
+
+
+def test_flags_silently_swallowed_broad_except(lint):
+    source = """\
+    try:
+        stage()
+    except Exception:
+        pass
+
+    try:
+        stage()
+    except (RuntimeError, BaseException):
+        ...
+    """
+    findings = lint(source, rule="CW107")
+    assert len(findings) == 2
+
+
+def test_broad_except_that_acts_is_clean(lint):
+    source = """\
+    try:
+        stage()
+    except Exception as exc:
+        log.warning("stage failed: %s", exc)
+
+    try:
+        stage()
+    except Exception:
+        raise PipelineError("stage failed")
+    """
+    assert lint(source, rule="CW107") == []
+
+
+def test_narrow_except_pass_is_allowed(lint):
+    source = """\
+    try:
+        cleanup()
+    except KeyError:
+        pass
+    """
+    assert lint(source, rule="CW107") == []
+
+
+def test_bare_except_not_double_reported_by_cw107(lint):
+    source = """\
+    try:
+        stage()
+    except:
+        pass
+    """
+    assert lint(source, rule="CW107") == []

@@ -1,0 +1,91 @@
+"""CW108 import-layering: positive and negative fixtures, plus the layer map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.layers import LAYER_MAP, layer_of, resolve_import
+
+
+def test_flags_forbidden_absolute_import(lint):
+    findings = lint(
+        "from repro.web import api\n", rule="CW108", module="repro.mining.gsp"
+    )
+    assert len(findings) == 1
+    assert "'mining' must not import 'repro.web'" in findings[0].message
+
+
+def test_flags_forbidden_relative_import(lint):
+    findings = lint(
+        "from ..crowd import CrowdAggregator\n", rule="CW108", module="repro.sequences.sessions"
+    )
+    assert len(findings) == 1
+    assert "'sequences' must not import 'repro.crowd'" in findings[0].message
+
+
+def test_flags_plain_import_statement(lint):
+    findings = lint("import repro.viz\n", rule="CW108", module="repro.geo.grid")
+    assert len(findings) == 1
+
+
+def test_flags_from_root_subpackage_alias(lint):
+    findings = lint("from repro import web\n", rule="CW108", module="repro.mining.gsp")
+    assert len(findings) == 1
+
+
+def test_allowed_imports_are_clean(lint):
+    source = """\
+    from ..sequences import build_all_databases
+    from repro.taxonomy import CategoryTree
+    from . import base
+    import math
+    import numpy as np
+    """
+    assert lint(source, rule="CW108", module="repro.mining.gsp") == []
+
+
+def test_files_outside_repro_are_exempt(lint):
+    source = "from repro.web import api\nfrom repro.mining import gsp\n"
+    assert lint(source, rule="CW108", module="tests.test_something") == []
+    assert lint(source, rule="CW108", module=None) == []
+
+
+def test_devtools_is_isolated_in_the_map():
+    assert LAYER_MAP["devtools"] == frozenset()
+    for layer, allowed in LAYER_MAP.items():
+        assert "devtools" not in allowed, f"{layer} may not depend on devtools"
+
+
+def test_layer_map_is_a_dag():
+    state = {}
+
+    def visit(layer):
+        if state.get(layer) == "done":
+            return
+        if state.get(layer) == "visiting":
+            pytest.fail(f"cycle through layer {layer!r}")
+        state[layer] = "visiting"
+        for dep in LAYER_MAP.get(layer, ()):
+            assert dep in LAYER_MAP, f"{layer} depends on undeclared layer {dep}"
+            visit(dep)
+        state[layer] = "done"
+
+    for layer in LAYER_MAP:
+        visit(layer)
+
+
+def test_layer_of():
+    assert layer_of("repro.crowd.sync") == "crowd"
+    assert layer_of("repro.pipeline") == "pipeline"
+    assert layer_of("repro") is None
+    assert layer_of("numpy.linalg") is None
+    assert layer_of(None) is None
+
+
+def test_resolve_import():
+    assert resolve_import("repro.crowd.sync", "geo", 2, False) == "repro.geo"
+    assert resolve_import("repro.crowd.sync", None, 1, False) == "repro.crowd"
+    assert resolve_import("repro.crowd", "aggregate", 1, True) == "repro.crowd.aggregate"
+    assert resolve_import("repro.crowd.sync", "numpy", 0, False) == "numpy"
+    assert resolve_import(None, "thing", 1, False) is None
+    assert resolve_import("repro", "x", 3, False) is None

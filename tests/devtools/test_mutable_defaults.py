@@ -1,0 +1,46 @@
+"""CW104 mutable-default-argument: positive and negative fixtures."""
+
+from __future__ import annotations
+
+
+def test_flags_literal_defaults(lint):
+    source = """\
+    def f(a=[], b={}, c={1, 2}):
+        pass
+    """
+    findings = lint(source, rule="CW104")
+    assert len(findings) == 3
+
+
+def test_flags_constructor_and_kwonly_and_lambda_defaults(lint):
+    source = """\
+    def g(*, cache=dict(), log=list()):
+        pass
+
+    h = lambda acc=[]: acc
+
+    def i(counts=Counter()):
+        pass
+    """
+    findings = lint(source, rule="CW104")
+    assert len(findings) == 4
+
+
+def test_immutable_defaults_are_clean(lint):
+    source = """\
+    def f(a=None, b=0, c="x", d=(), e=frozenset(), f_=3.5):
+        pass
+
+    def g(*, window=None, factory=tuple):
+        pass
+    """
+    assert lint(source, rule="CW104") == []
+
+
+def test_mutable_values_outside_defaults_are_clean(lint):
+    source = """\
+    def f(a=None):
+        a = a if a is not None else []
+        return a
+    """
+    assert lint(source, rule="CW104") == []

@@ -1,0 +1,53 @@
+"""The real tree must be lint-clean, and seeded domain bugs must be caught.
+
+These two tests are the subsystem's acceptance criteria: the first keeps the
+repo honest (CI runs the same command), the second keeps the *linter* honest —
+if a rule regresses into a no-op, the seeded-bug fixture fails.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools import LintEngine
+from repro.devtools.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_and_tests_trees_are_lint_clean():
+    findings = LintEngine().lint_paths([REPO_ROOT / "src", REPO_ROOT / "tests"])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_cli_exits_zero_on_the_repo():
+    assert main([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]) == 0
+
+
+def test_cli_exits_nonzero_on_seeded_domain_bugs(tmp_path, capsys):
+    """A fixture with a lat/lon swap, a naive datetime, and a mining->web import."""
+    pkg = tmp_path / "repro" / "mining"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "seeded.py").write_text(
+        textwrap.dedent(
+            """\
+            from datetime import datetime
+
+            from repro.web import api
+
+
+            def place(venue):
+                p = GeoPoint(venue.lon, venue.lat)
+                stamped = datetime.now()
+                return p, stamped
+            """
+        )
+    )
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "CW101" in out  # lat/lon swap
+    assert "CW103" in out  # naive datetime
+    assert "CW108" in out  # forbidden mining -> web import

@@ -1,0 +1,50 @@
+"""CW102 unit-suffix consistency: positive and negative fixtures."""
+
+from __future__ import annotations
+
+
+def test_flags_additive_mixing(lint):
+    findings = lint("total = dist_m + offset_deg\n", rule="CW102")
+    assert len(findings) == 1
+    assert "meters" in findings[0].message and "degrees" in findings[0].message
+
+
+def test_flags_subtraction_and_comparison(lint):
+    source = """\
+    gap = window_s - radius_m
+    if radius_m < duration_s:
+        pass
+    """
+    findings = lint(source, rule="CW102")
+    assert len(findings) == 2
+
+
+def test_flags_relabeling_assignment_and_keyword(lint):
+    source = """\
+    dist_m = bearing_deg
+    move(distance_m=angle_deg)
+    """
+    findings = lint(source, rule="CW102")
+    assert len(findings) == 2
+
+
+def test_same_unit_arithmetic_is_clean(lint):
+    source = """\
+    total_m = leg1_m + leg2_m
+    dt_s = end_s - start_s
+    if dist_m < threshold_m:
+        pass
+    speed = dist_m / dt_s            # division crosses units legitimately
+    area = width_m * height_m
+    scaled = radius_m / EARTH_RADIUS_M
+    """
+    assert lint(source, rule="CW102") == []
+
+
+def test_unsuffixed_names_are_clean(lint):
+    source = """\
+    x = dist_m + margin
+    y = count + dwell_s
+    stream = items + deg             # 'deg' alone is not a suffix
+    """
+    assert lint(source, rule="CW102") == []
