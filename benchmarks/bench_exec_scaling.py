@@ -1,0 +1,48 @@
+"""Execution-layer scaling benchmarks (not a paper figure).
+
+Times phase 2 (``detect_all_patterns``) under the serial backend and the
+process backend at increasing worker counts.  Speedup is bounded by the
+CPUs actually available — ``BENCH_pipeline.json`` records that count, and
+so does the printed header here.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exec import ExecConfig
+from repro.patterns import detect_all_patterns
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def test_bench_detect_all_serial(benchmark, bench_dataset, taxonomy):
+    profiles = benchmark(detect_all_patterns, bench_dataset, taxonomy)
+    assert len(profiles) == bench_dataset.n_users
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_bench_detect_all_process(benchmark, bench_dataset, taxonomy, workers):
+    exec_config = ExecConfig(backend="process", n_workers=workers)
+    profiles = benchmark(
+        detect_all_patterns, bench_dataset, taxonomy, exec_config=exec_config
+    )
+    assert len(profiles) == bench_dataset.n_users
+
+
+def test_process_backend_matches_serial_at_bench_scale(bench_dataset, taxonomy):
+    """Fan-out must be invisible in the output, not just usually-equal."""
+    serial = detect_all_patterns(bench_dataset, taxonomy)
+    fanned = detect_all_patterns(
+        bench_dataset,
+        taxonomy,
+        exec_config=ExecConfig(backend="process", n_workers=min(4, _cpus() + 1)),
+    )
+    assert fanned == serial

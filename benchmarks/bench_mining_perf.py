@@ -15,6 +15,7 @@ from repro.mining import (
     ModifiedPrefixSpanConfig,
     gsp,
     modified_prefixspan,
+    modified_prefixspan_reference,
     prefixspan,
 )
 from repro.sequences import build_user_database
@@ -55,6 +56,22 @@ def test_bench_modified_with_ancestors(benchmark, bench_pipeline, taxonomy):
                                       limits=MiningLimits(max_length=3))
     patterns = benchmark(modified_prefixspan, db, config, taxonomy)
     assert isinstance(patterns, list)
+
+
+def test_bench_modified_prefixspan_reference(benchmark, busiest_db, taxonomy):
+    """The pool-rescan reference core — the baseline the index replaced."""
+    config = ModifiedPrefixSpanConfig(min_support=0.25)
+    patterns = benchmark(modified_prefixspan_reference, busiest_db, config, taxonomy)
+    assert patterns
+
+
+def test_indexed_matches_reference_at_bench_scale(busiest_db, taxonomy):
+    """The indexed core's speedup never comes from mining different output."""
+    for support in (0.25, 0.5, 0.75):
+        config = ModifiedPrefixSpanConfig(min_support=support)
+        indexed = modified_prefixspan(busiest_db, config, taxonomy)
+        reference = modified_prefixspan_reference(busiest_db, config, taxonomy)
+        assert indexed == reference
 
 
 @pytest.mark.parametrize("support", [0.25, 0.5, 0.75])

@@ -1,0 +1,43 @@
+"""``python -m repro.bench`` — refresh the BENCH_*.json perf reports."""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from .runner import SCALES, run_mining_bench, run_pipeline_bench
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Pinned-seed perf-regression benchmarks "
+                    "(writes BENCH_mining.json / BENCH_pipeline.json)",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench",
+                        help="synthetic data scale (default: bench)")
+    parser.add_argument("--out", type=Path, default=Path("."),
+                        help="directory to write the reports into "
+                             "(default: current directory, i.e. the repo root)")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        metavar="N", help="process-backend worker counts to time")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing repetitions (best-of; default 1)")
+    args = parser.parse_args(argv)
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    mining = run_mining_bench(args.scale, repeats=args.repeats)
+    path = mining.save(args.out / "BENCH_mining.json")
+    print(mining.summary())
+    print(f"wrote {path}")
+    pipeline = run_pipeline_bench(args.scale, workers=args.workers,
+                                  repeats=args.repeats)
+    path = pipeline.save(args.out / "BENCH_pipeline.json")
+    print(pipeline.summary())
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

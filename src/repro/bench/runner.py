@@ -1,0 +1,251 @@
+"""Pinned-seed perf benchmark runners.
+
+Each runner generates a deterministic synthetic dataset for the requested
+scale, times the competing implementations, and returns a
+:class:`~repro.bench.schema.BenchReport`:
+
+* :func:`run_mining_bench` — the phase-2 algorithmic core: indexed
+  :func:`~repro.mining.modified.modified_prefixspan` vs. the pool-rescan
+  :func:`~repro.mining.modified.modified_prefixspan_reference`, on the
+  busiest user's day database (ops = mining runs completed).
+* :func:`run_pipeline_bench` — the execution layer:
+  :func:`~repro.patterns.detect_all_patterns` serial vs. the process
+  backend at several worker counts (ops = users mined).
+
+``write_reports`` is what CI and ``python -m repro.bench`` call: it runs
+both and writes ``BENCH_mining.json`` / ``BENCH_pipeline.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import time
+from datetime import date
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..data import SMALL_CONFIG, SynthConfig, generate
+from ..exec import ExecConfig
+from ..mining import (
+    ModifiedPrefixSpanConfig,
+    modified_prefixspan,
+    modified_prefixspan_reference,
+)
+from ..patterns import detect_all_patterns
+from ..sequences import build_all_databases
+from ..taxonomy import build_default_taxonomy
+from .schema import BenchReport, BenchRow
+
+__all__ = [
+    "BENCH_MINING_FILENAME",
+    "BENCH_PIPELINE_FILENAME",
+    "SCALES",
+    "run_mining_bench",
+    "run_pipeline_bench",
+    "write_reports",
+]
+
+BENCH_MINING_FILENAME = "BENCH_mining.json"
+BENCH_PIPELINE_FILENAME = "BENCH_pipeline.json"
+
+#: Data scales, all fully pinned by their config seed.  ``smoke`` is the CI
+#: gate (seconds); ``bench`` matches the figure benchmarks' mid-sized city;
+#: ``paper`` is the full 1,083-user reproduction scale.
+SCALES: Dict[str, SynthConfig] = {
+    "smoke": SynthConfig(
+        seed=7,
+        n_users=24,
+        n_venues=300,
+        n_neighborhoods=6,
+        start_date=date(2012, 4, 1),
+        end_date=date(2012, 5, 15),
+    ),
+    "small": SMALL_CONFIG,
+    "bench": SynthConfig(n_users=300, n_venues=2500, seed=20230701),
+    "paper": SynthConfig(),
+}
+
+
+def _config_for(scale: str) -> SynthConfig:
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench scale {scale!r} (expected one of {sorted(SCALES)})"
+        ) from None
+
+
+def _available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _git_rev() -> str:
+    """Short git revision (``-dirty`` suffixed when the tree has changes),
+    or ``unknown`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    rev = out.stdout.strip()
+    if out.returncode != 0 or not rev:
+        return "unknown"
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return rev
+    if status.returncode == 0 and status.stdout.strip():
+        return f"{rev}-dirty"
+    return rev
+
+
+def _time(fn, repeats: int) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall clock and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def run_mining_bench(
+    scale: str = "bench", repeats: int = 1, git_rev: Optional[str] = None
+) -> BenchReport:
+    """Time the indexed miner against the reference core on one busy user.
+
+    Both variants run the paper's support sweep (0.25 / 0.5 / 0.75) on the
+    busiest user's day database; their outputs are asserted identical, so a
+    speedup can never come from mining less.
+    """
+    synth = _config_for(scale)
+    taxonomy = build_default_taxonomy()
+    dataset = generate(synth).dataset
+    databases = build_all_databases(dataset, taxonomy)
+    busiest = max(databases, key=lambda uid: len(databases[uid]))
+    db = databases[busiest]
+    configs = [ModifiedPrefixSpanConfig(min_support=s) for s in (0.25, 0.5, 0.75)]
+
+    def run_indexed() -> List:
+        return [modified_prefixspan(db, cfg, taxonomy) for cfg in configs]
+
+    def run_reference() -> List:
+        return [modified_prefixspan_reference(db, cfg, taxonomy) for cfg in configs]
+
+    reference_s, reference_out = _time(run_reference, repeats)
+    indexed_s, indexed_out = _time(run_indexed, repeats)
+    if indexed_out != reference_out:
+        raise AssertionError(
+            "indexed and reference miners disagree — refusing to report a "
+            "speedup over different output"
+        )
+    ops = float(len(configs))
+    rows = (
+        BenchRow(
+            name="modified_prefixspan_reference",
+            wall_clock_s=reference_s,
+            ops_per_sec=ops / reference_s if reference_s else 0.0,
+            speedup_vs_serial=1.0,
+        ),
+        BenchRow(
+            name="modified_prefixspan_indexed",
+            wall_clock_s=indexed_s,
+            ops_per_sec=ops / indexed_s if indexed_s else 0.0,
+            speedup_vs_serial=reference_s / indexed_s if indexed_s else 0.0,
+        ),
+    )
+    return BenchReport(
+        benchmark="mining",
+        scale=scale,
+        seed=synth.seed,
+        git_rev=git_rev if git_rev is not None else _git_rev(),
+        n_cpus=_available_cpus(),
+        rows=rows,
+    )
+
+
+def run_pipeline_bench(
+    scale: str = "bench",
+    workers: Sequence[int] = (1, 2, 4),
+    repeats: int = 1,
+    git_rev: Optional[str] = None,
+) -> BenchReport:
+    """Time phase 2 across execution backends: serial, then N processes.
+
+    Every backend's profiles are asserted identical to the serial run's
+    before any timing is reported.
+    """
+    synth = _config_for(scale)
+    taxonomy = build_default_taxonomy()
+    dataset = generate(synth).dataset
+    n_users = dataset.n_users
+
+    serial_s, baseline = _time(lambda: detect_all_patterns(dataset, taxonomy), repeats)
+    rows = [
+        BenchRow(
+            name="detect_all_patterns_serial",
+            wall_clock_s=serial_s,
+            ops_per_sec=n_users / serial_s if serial_s else 0.0,
+            speedup_vs_serial=1.0,
+        )
+    ]
+    for n in workers:
+        exec_config = ExecConfig(backend="process", n_workers=n)
+        elapsed, profiles = _time(
+            lambda: detect_all_patterns(dataset, taxonomy, exec_config=exec_config),
+            repeats,
+        )
+        if profiles != baseline:
+            raise AssertionError(
+                f"process backend ({n} workers) diverged from serial output"
+            )
+        rows.append(
+            BenchRow(
+                name=f"detect_all_patterns_process_{n}w",
+                wall_clock_s=elapsed,
+                ops_per_sec=n_users / elapsed if elapsed else 0.0,
+                speedup_vs_serial=serial_s / elapsed if elapsed else 0.0,
+            )
+        )
+    return BenchReport(
+        benchmark="pipeline",
+        scale=scale,
+        seed=synth.seed,
+        git_rev=git_rev if git_rev is not None else _git_rev(),
+        n_cpus=_available_cpus(),
+        rows=tuple(rows),
+    )
+
+
+def write_reports(
+    out_dir: Union[str, Path] = ".",
+    scale: str = "bench",
+    workers: Sequence[int] = (1, 2, 4),
+    repeats: int = 1,
+) -> Tuple[Path, Path]:
+    """Run both benchmarks and write ``BENCH_*.json`` into ``out_dir``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    mining = run_mining_bench(scale, repeats=repeats)
+    pipeline = run_pipeline_bench(scale, workers=workers, repeats=repeats)
+    return (
+        mining.save(out_dir / BENCH_MINING_FILENAME),
+        pipeline.save(out_dir / BENCH_PIPELINE_FILENAME),
+    )

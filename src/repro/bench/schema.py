@@ -1,0 +1,136 @@
+"""The on-disk schema of ``BENCH_*.json`` perf-regression reports.
+
+A report is one benchmark run: which benchmark, at which data scale, from
+which git revision, plus one row per timed variant.  The schema is
+versioned and round-trips exactly (``BenchReport.from_dict(r.to_dict()) == r``),
+so future PRs can diff reports mechanically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+__all__ = ["BENCH_SCHEMA_VERSION", "BenchReport", "BenchRow"]
+
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchRow:
+    """One timed variant of a benchmark.
+
+    ``ops_per_sec`` counts the benchmark's natural unit of work (mining runs
+    for the miner bench, users mined for the pipeline bench) per wall-clock
+    second; ``speedup_vs_serial`` is relative to the run's serial baseline
+    row (the baseline itself reports 1.0).
+    """
+
+    name: str
+    wall_clock_s: float
+    ops_per_sec: float
+    speedup_vs_serial: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a bench row needs a name")
+        if self.wall_clock_s < 0 or self.ops_per_sec < 0 or self.speedup_vs_serial < 0:
+            raise ValueError("bench measurements must be non-negative")
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "wall_clock_s": round(self.wall_clock_s, 6),
+            "ops_per_sec": round(self.ops_per_sec, 4),
+            "speedup_vs_serial": round(self.speedup_vs_serial, 4),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "BenchRow":
+        return cls(
+            name=str(payload["name"]),
+            wall_clock_s=float(payload["wall_clock_s"]),
+            ops_per_sec=float(payload["ops_per_sec"]),
+            speedup_vs_serial=float(payload["speedup_vs_serial"]),
+        )
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """One benchmark run, ready to serialize to a ``BENCH_*.json``.
+
+    ``n_cpus`` records the CPUs actually available to the run (cgroup/affinity
+    aware) — process-backend speedups are meaningless without it: on a 1-CPU
+    host even a perfectly parallel fan-out cannot beat serial wall clock.
+    """
+
+    benchmark: str
+    scale: str
+    seed: int
+    git_rev: str
+    n_cpus: int = 1
+    rows: Tuple[BenchRow, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows", tuple(self.rows))
+        if not self.benchmark:
+            raise ValueError("a bench report needs a benchmark name")
+        if self.n_cpus < 1:
+            raise ValueError("n_cpus must be at least 1")
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": BENCH_SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "scale": self.scale,
+            "seed": self.seed,
+            "git_rev": self.git_rev,
+            "n_cpus": self.n_cpus,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "BenchReport":
+        schema = payload.get("schema")
+        if schema != BENCH_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported bench schema {schema!r} (expected {BENCH_SCHEMA_VERSION})"
+            )
+        return cls(
+            benchmark=str(payload["benchmark"]),
+            scale=str(payload["scale"]),
+            seed=int(payload["seed"]),
+            git_rev=str(payload["git_rev"]),
+            n_cpus=int(payload.get("n_cpus", 1)),
+            rows=tuple(BenchRow.from_dict(row) for row in payload["rows"]),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BenchReport":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls.from_dict(payload)
+
+    def row(self, name: str) -> BenchRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(f"no bench row named {name!r}")
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.benchmark} @ {self.scale} "
+            f"(seed {self.seed}, rev {self.git_rev}, {self.n_cpus} cpu)"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"  {row.name:<28} {row.wall_clock_s:>9.3f}s "
+                f"{row.ops_per_sec:>10.2f} ops/s  x{row.speedup_vs_serial:.2f}"
+            )
+        return "\n".join(lines)

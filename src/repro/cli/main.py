@@ -27,6 +27,7 @@ from ..data import (
     save_dataset,
     synthetic_dataset,
 )
+from ..exec import ExecConfig
 from ..experiments import run_all, small_pipeline_config
 from ..mining import ModifiedPrefixSpanConfig
 from ..patterns import detect_user_patterns, summarize_profile
@@ -42,6 +43,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="CrowdWeb reproduction: crowd mobility patterns in smart cities",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workers_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for mining/aggregation "
+                            "(1 = serial, 0 = all cores)")
 
     p_generate = sub.add_parser("generate", help="synthesize a dataset")
     p_generate.add_argument("output", type=Path, help="output file (.tsv/.csv/.jsonl)")
@@ -64,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="activity-filter qualifying-day threshold")
     p_crowd.add_argument("--months", type=int, default=2,
                          help="densest-window length in months")
+    add_workers_flag(p_crowd)
 
     p_figures = sub.add_parser("figures", help="regenerate all paper figures")
     p_figures.add_argument("output_dir", type=Path)
@@ -74,11 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8460)
     p_serve.add_argument("--scale", choices=["small", "paper"], default="small")
+    add_workers_flag(p_serve)
 
     p_predict = sub.add_parser("predict", help="compare next-place predictors")
     p_predict.add_argument("dataset", type=Path)
     p_predict.add_argument("--min-days", type=int, default=25)
     p_predict.add_argument("--months", type=int, default=2)
+    add_workers_flag(p_predict)
 
     p_export = sub.add_parser("export-spmf",
                               help="export a user's sequence DB + patterns in SPMF format")
@@ -111,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_comm.add_argument("--min-days", type=int, default=25)
     p_comm.add_argument("--months", type=int, default=2)
     p_comm.add_argument("--min-similarity", type=float, default=0.05)
+    add_workers_flag(p_comm)
 
     return parser
 
@@ -157,6 +167,7 @@ def _pipeline_for(args):
     config = PipelineConfig(
         window_months=args.months,
         activity=ActiveUserFilter(min_qualifying_days=args.min_days),
+        exec=ExecConfig.from_workers(getattr(args, "workers", 1)),
     )
     return run_pipeline(dataset, config)
 
@@ -187,7 +198,8 @@ def _cmd_figures(args) -> int:
 def _cmd_serve(args) -> int:
     from ..web.__main__ import main as web_main
 
-    return web_main(["--host", args.host, "--port", str(args.port), "--scale", args.scale])
+    return web_main(["--host", args.host, "--port", str(args.port),
+                     "--scale", args.scale, "--workers", str(args.workers)])
 
 
 def _cmd_predict(args) -> int:

@@ -8,7 +8,8 @@ invert the architecture.
 
 Reading the map bottom-up:
 
-* ``geo`` and ``taxonomy`` are foundations — they import nothing internal.
+* ``geo``, ``taxonomy`` and ``exec`` (the process-pool execution layer) are
+  foundations — they import nothing internal.
 * ``data`` → ``sequences`` → ``mining`` is the record/sequence/pattern spine.
 * ``crowd`` (the paper's §5 synchronization layer) sits on patterns and
   sequences but must never reach up into ``viz``/``web``.
@@ -31,6 +32,7 @@ ROOT_PACKAGE = "repro"
 
 LAYER_MAP: Dict[str, FrozenSet[str]] = {
     # foundations
+    "exec": frozenset(),
     "geo": frozenset(),
     "taxonomy": frozenset(),
     # data spine
@@ -39,14 +41,18 @@ LAYER_MAP: Dict[str, FrozenSet[str]] = {
     "mining": frozenset({"sequences", "taxonomy"}),
     # analytics over the spine
     "analysis": frozenset({"data", "geo"}),
-    "patterns": frozenset({"data", "mining", "sequences", "taxonomy"}),
+    "patterns": frozenset({"data", "exec", "mining", "sequences", "taxonomy"}),
     "prediction": frozenset({"geo", "mining", "sequences"}),
-    "crowd": frozenset({"data", "geo", "patterns", "sequences", "taxonomy"}),
+    "crowd": frozenset({"data", "exec", "geo", "patterns", "sequences", "taxonomy"}),
     # presentation
     "viz": frozenset({"crowd", "data", "geo", "sequences"}),
     # top-level orchestration modules
     "pipeline": frozenset(
-        {"crowd", "data", "geo", "mining", "patterns", "sequences", "taxonomy"}
+        {"crowd", "data", "exec", "geo", "mining", "patterns", "sequences", "taxonomy"}
+    ),
+    # perf-regression harness: times the spine end to end
+    "bench": frozenset(
+        {"data", "exec", "mining", "patterns", "pipeline", "sequences", "taxonomy"}
     ),
     "persistence": frozenset({"mining", "patterns", "sequences", "taxonomy"}),
     # harnesses
@@ -70,6 +76,7 @@ LAYER_MAP: Dict[str, FrozenSet[str]] = {
             "analysis",
             "crowd",
             "data",
+            "exec",
             "experiments",
             "geo",
             "patterns",
@@ -85,6 +92,7 @@ LAYER_MAP: Dict[str, FrozenSet[str]] = {
             "analysis",
             "crowd",
             "data",
+            "exec",
             "experiments",
             "mining",
             "patterns",

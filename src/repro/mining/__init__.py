@@ -1,10 +1,11 @@
 """Sequential-pattern mining: modified PrefixSpan plus baselines and tools."""
 
-from .base import MiningLimits, SequentialPattern, sort_patterns
+from .base import MiningLimits, SequentialPattern, sort_patterns, sorted_candidates
 from .bruteforce import bruteforce_mine
 from .filters import closed_patterns, maximal_patterns, top_k_patterns
 from .gsp import gsp
 from .incremental import IncrementalPatternStore
+from .index import MatchIndex, build_match_index
 from .interop import (
     ItemCodec,
     read_spmf_database,
@@ -17,6 +18,7 @@ from .modified import (
     FlexibleMatcher,
     ModifiedPrefixSpanConfig,
     modified_prefixspan,
+    modified_prefixspan_reference,
 )
 from .prefixspan import prefixspan
 from .stats import MiningAggregate, UserMiningStats, aggregate_stats, user_mining_stats
@@ -26,6 +28,7 @@ __all__ = [
     "FlexibleMatcher",
     "IncrementalPatternStore",
     "ItemCodec",
+    "MatchIndex",
     "MiningAggregate",
     "MiningLimits",
     "ModifiedPrefixSpanConfig",
@@ -33,14 +36,17 @@ __all__ = [
     "UserMiningStats",
     "aggregate_stats",
     "bruteforce_mine",
+    "build_match_index",
     "closed_patterns",
     "gsp",
     "maximal_patterns",
     "modified_prefixspan",
+    "modified_prefixspan_reference",
     "prefixspan",
     "read_spmf_database",
     "read_spmf_patterns",
     "sort_patterns",
+    "sorted_candidates",
     "top_k_patterns",
     "user_mining_stats",
     "write_spmf_database",

@@ -5,9 +5,41 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["SequentialPattern", "MiningLimits", "sort_patterns"]
+__all__ = [
+    "SequentialPattern",
+    "MiningLimits",
+    "candidate_sort_key",
+    "sort_patterns",
+    "sorted_candidates",
+]
 
 Item = TypeVar("Item", bound=Hashable)
+
+
+def candidate_sort_key(item):
+    """Deterministic candidate-expansion order shared by the miners.
+
+    Timed items (anything exposing ``label``/``bin``, i.e.
+    :class:`~repro.sequences.items.TimedItem`) order by ``(label, bin)`` —
+    the canonical report order of the modified algorithm.  Other item types
+    keep their natural order.
+    """
+    label = getattr(item, "label", None)
+    bin_index = getattr(item, "bin", None)
+    if label is not None and bin_index is not None:
+        return (label, bin_index)
+    return item
+
+
+def sorted_candidates(items: Sequence[Item]) -> List[Item]:
+    """Sort candidate items for expansion: ``(label, bin)`` for timed items,
+    natural order otherwise, with ``repr`` as the tie-safe fallback for
+    heterogeneous item types that do not compare."""
+    items = list(items)
+    try:
+        return sorted(items, key=candidate_sort_key)
+    except TypeError:
+        return sorted(items, key=repr)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,256 @@
+"""Inverted match index for the modified PrefixSpan (the fast phase-2 core).
+
+The reference miner (:func:`repro.mining.modified.modified_prefixspan_reference`)
+re-scans the *entire* candidate pool at every recursion node and re-matches
+each candidate against every projected sequence with an O(|seq|) inner loop.
+Almost all of that work is redundant: :class:`~repro.mining.modified.FlexibleMatcher`
+is *prefix-independent* — whether a candidate pattern item matches a sequence
+item never depends on the prefix mined so far.  Only the *gap constraint*
+looks backwards, and it only needs the bin of the item the projection resumed
+after, which is a cheap position filter.
+
+:class:`MatchIndex` therefore precomputes, once per user database,
+
+``candidate → {sequence index → sorted match positions}``
+
+by a single pass over the sequence items: each item ``(bin, label)`` matches
+exactly the candidates ``(b, L)`` with ``L`` among the item label's taxonomy
+ancestors (including itself) and ``b`` within the circular time tolerance of
+``bin``.  Enumerating those directly costs
+``O(total_items × |ancestors| × (2·tol + 1))`` — independent of the recursion
+depth — instead of ``O(|pool| × total_items)`` per recursion node.
+
+At grow time the miner then
+
+* iterates only candidates that occur in the projected sequences at all
+  (via the per-sequence candidate lists), never the global pool;
+* prunes a candidate as soon as its remaining possible supporters cannot
+  reach ``min_count`` (the remaining-support upper bound);
+* resolves admissible match positions with a binary search over the sorted
+  position list instead of rescanning the postfix.
+
+The index is only ever consulted for candidates drawn from the same global
+pool the reference miner uses (observed ``(bin, ancestor-label)`` items), so
+the mined output is bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..sequences.items import TimedItem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .modified import FlexibleMatcher
+
+__all__ = ["MatchIndex", "build_match_index"]
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+class MatchIndex:
+    """Per-database inverted index of candidate-item match positions.
+
+    Parameters
+    ----------
+    sequences:
+        The database's item sequences (one per user-day).
+    matcher:
+        The flexible matcher whose ``matches`` predicate the index inverts.
+        Matching must be prefix-independent (it is: time tolerance and label
+        ancestry look at one item only).
+    """
+
+    __slots__ = ("sequences", "pool", "positions", "seq_candidates", "_suffix_cache")
+
+    def __init__(
+        self, sequences: Sequence[Tuple[TimedItem, ...]], matcher: "FlexibleMatcher"
+    ) -> None:
+        self.sequences: Tuple[Tuple[TimedItem, ...], ...] = tuple(sequences)
+
+        # The candidate pool mirrors the reference miner exactly: every
+        # observed item plus its taxonomy-ancestor relabelings, at the
+        # *observed* bin (time tolerance widens matching, not the pool).
+        pool: Set[TimedItem] = set()
+        distinct: Set[TimedItem] = set()
+        for seq in self.sequences:
+            for item in seq:
+                if item not in distinct:
+                    distinct.add(item)
+                    pool.update(matcher.candidates_for(item))
+        self.pool: FrozenSet[TimedItem] = frozenset(pool)
+
+        # Circular tolerance offsets, deduplicated (2·tol+1 may wrap past
+        # n_bins, in which case every bin is within tolerance).
+        n_bins = matcher.n_bins
+        tol = matcher.time_tolerance_bins
+        if 2 * tol + 1 >= n_bins:
+            offsets: Tuple[int, ...] = tuple(range(n_bins))
+        else:
+            offsets = tuple(sorted({d % n_bins for d in range(-tol, tol + 1)}))
+
+        # Per *distinct* item, the pool candidates matching it: candidates
+        # (bin ± tol, ancestor-of-label) — item vocabularies are tiny
+        # compared to total occurrences, so resolving the tolerance window
+        # and ancestor chain once per distinct item is nearly free.
+        matched_by: Dict[TimedItem, Tuple[TimedItem, ...]] = {}
+        for item in distinct:
+            seen: Set[TimedItem] = set()
+            candidates: List[TimedItem] = []
+            for label in matcher._ancestors_of(item.label):
+                for offset in offsets:
+                    candidate = TimedItem((item.bin + offset) % n_bins, label)
+                    if candidate in pool and candidate not in seen:
+                        seen.add(candidate)
+                        candidates.append(candidate)
+            matched_by[item] = tuple(candidates)
+
+        # One pass over the data records each occurrence's position under
+        # every candidate it realizes.  Each candidate appears at most once
+        # per occurrence (deduped above), so position lists come out
+        # strictly increasing.
+        grouped: Dict[TimedItem, Dict[int, List[int]]] = {}
+        for seq_index, seq in enumerate(self.sequences):
+            for position, item in enumerate(seq):
+                for candidate in matched_by[item]:
+                    per_seq = grouped.setdefault(candidate, {})
+                    plist = per_seq.get(seq_index)
+                    if plist is None:
+                        per_seq[seq_index] = [position]
+                    else:
+                        plist.append(position)
+
+        #: candidate → {sequence index → strictly increasing match positions}.
+        self.positions: Dict[TimedItem, Dict[int, List[int]]] = grouped
+
+        #: sequence index → candidates with at least one match in it, in a
+        #: fixed (but arbitrary) order — the grow-time tally iterates these.
+        seq_candidates: List[List[TimedItem]] = [[] for _ in self.sequences]
+        for candidate, per_seq in self.positions.items():
+            for seq_index in per_seq:
+                seq_candidates[seq_index].append(candidate)
+        self.seq_candidates: Tuple[Tuple[TimedItem, ...], ...] = tuple(
+            tuple(candidates) for candidates in seq_candidates
+        )
+
+        # (candidate, seq, suffix offset) → resume-position frozenset.  The
+        # same suffix is requested at many recursion nodes; the sets are
+        # immutable, so sharing them across nodes is free.
+        self._suffix_cache: Dict[Tuple[TimedItem, int, int], FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------ api
+
+    def n_candidates(self) -> int:
+        """Number of pool candidates with at least one match anywhere."""
+        return len(self.positions)
+
+    def supporters_of(
+        self,
+        candidate: TimedItem,
+        projections: Dict[int, FrozenSet[int]],
+        max_gap_bins: Optional[int],
+        min_count: int,
+        upper: int,
+    ) -> Optional[Dict[int, FrozenSet[int]]]:
+        """Exact supporter → resume-position map over a projection.
+
+        ``upper`` is the number of projected sequences the candidate occurs
+        in at all (the caller's tally); the scan aborts with ``None`` as
+        soon as the remaining sequences cannot lift the supporter count to
+        ``min_count``.  Returns ``None`` for an infrequent candidate.
+        """
+        pos_map = self.positions[candidate]
+        suffix_cache = self._suffix_cache
+        supporters: Dict[int, FrozenSet[int]] = {}
+        remaining = upper
+        # Scan whichever side is smaller: a rare candidate over a broad
+        # projection walks its few position lists; a common one over a deep
+        # projection walks the projection.  Either way each sequence visited
+        # is in the intersection, so the supporter set is identical.
+        if len(pos_map) < len(projections):
+            pairs = (
+                (seq_index, projections.get(seq_index), plist)
+                for seq_index, plist in pos_map.items()
+            )
+        else:
+            pairs = (
+                (seq_index, starts, pos_map.get(seq_index))
+                for seq_index, starts in projections.items()
+            )
+        for seq_index, starts, plist in pairs:
+            if plist is None or starts is None:
+                continue
+            remaining -= 1
+            if max_gap_bins is None:
+                lo = bisect_left(plist, min(starts))
+                if lo < len(plist):
+                    key = (candidate, seq_index, lo)
+                    positions = suffix_cache.get(key)
+                    if positions is None:
+                        positions = suffix_cache[key] = frozenset(
+                            k + 1 for k in plist[lo:]
+                        )
+                else:
+                    positions = _EMPTY
+            else:
+                positions = self._gap_positions(
+                    plist, self.sequences[seq_index], starts, max_gap_bins
+                )
+            if positions:
+                supporters[seq_index] = positions
+            elif len(supporters) + remaining < min_count:
+                return None  # remaining-support upper bound: cannot qualify
+        return supporters if len(supporters) >= min_count else None
+
+    @staticmethod
+    def _gap_positions(
+        plist: Sequence[int],
+        seq: Tuple[TimedItem, ...],
+        starts: FrozenSet[int],
+        max_gap_bins: int,
+    ) -> FrozenSet[int]:
+        out: Set[int] = set()
+        for start in starts:
+            prev_bin = seq[start - 1].bin if start > 0 else None
+            for k in plist[bisect_left(plist, start):]:
+                if prev_bin is not None and seq[k].bin - prev_bin > max_gap_bins:
+                    continue
+                out.add(k + 1)
+        return frozenset(out)
+
+    def resume_positions(
+        self,
+        candidate: TimedItem,
+        seq_index: int,
+        starts: FrozenSet[int],
+        max_gap_bins: Optional[int],
+    ) -> FrozenSet[int]:
+        """Resume positions after every admissible match of ``candidate``.
+
+        Mirrors the reference miner's ``all_match_positions`` exactly:
+        a match at position ``k`` reached from resume point ``start`` is
+        admissible when ``k >= start`` and, under a gap constraint, the
+        matched item's bin is within ``max_gap_bins`` of the bin of the item
+        just before ``start`` (the one the prefix last consumed).
+        """
+        per_seq = self.positions.get(candidate)
+        if per_seq is None:
+            return _EMPTY
+        plist = per_seq.get(seq_index)
+        if plist is None:
+            return _EMPTY
+        if max_gap_bins is None:
+            # Gap-free: admissibility is just k >= min(starts).
+            lo = bisect_left(plist, min(starts))
+            return frozenset(k + 1 for k in plist[lo:])
+        return self._gap_positions(
+            plist, self.sequences[seq_index], starts, max_gap_bins
+        )
+
+
+def build_match_index(
+    sequences: Sequence[Tuple[TimedItem, ...]], matcher: "FlexibleMatcher"
+) -> MatchIndex:
+    """Build the inverted match index for one user database."""
+    return MatchIndex(sequences, matcher)

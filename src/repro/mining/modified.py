@@ -28,13 +28,15 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from ..sequences.database import SequenceDatabase
 from ..sequences.items import TimedItem
 from ..taxonomy import CategoryTree, UnknownCategoryError
-from .base import MiningLimits, SequentialPattern, sort_patterns
+from .base import MiningLimits, SequentialPattern, candidate_sort_key, sort_patterns
+from .index import build_match_index
 
 __all__ = [
     "ExactMatcher",
     "FlexibleMatcher",
     "ModifiedPrefixSpanConfig",
     "modified_prefixspan",
+    "modified_prefixspan_reference",
 ]
 
 
@@ -81,10 +83,17 @@ class FlexibleMatcher:
         self.taxonomy = taxonomy
         self.include_ancestor_labels = include_ancestor_labels and taxonomy is not None
         self._ancestor_cache: Dict[str, Tuple[str, ...]] = {}
+        self._distance_cache: Dict[Tuple[int, int], int] = {}
 
     def _bin_distance(self, a: int, b: int) -> int:
-        d = abs(a - b)
-        return min(d, self.n_bins - d)
+        # Memoized: the miner evaluates the same (pattern bin, item bin)
+        # pairs millions of times on a large day database.
+        key = (a, b)
+        cached = self._distance_cache.get(key)
+        if cached is None:
+            d = abs(a - b)
+            cached = self._distance_cache[key] = min(d, self.n_bins - d)
+        return cached
 
     def _ancestors_of(self, label: str) -> Tuple[str, ...]:
         """The label itself plus its taxonomy ancestors (nearest first)."""
@@ -147,6 +156,73 @@ def modified_prefixspan(
 
     Returns patterns in canonical order.  With ``time_tolerance_bins=0`` and
     no taxonomy this is exactly classic PrefixSpan.
+
+    This is the indexed fast path: it precomputes an inverted match index
+    (:mod:`repro.mining.index`) once per database, restricts each recursion
+    node to candidates actually occurring in the projected sequences, and
+    prunes candidates whose remaining possible supporters cannot reach the
+    support threshold.  Output is bit-for-bit identical to
+    :func:`modified_prefixspan_reference` (the parity suite enforces this).
+    """
+    n = len(db)
+    if n == 0:
+        return []
+    matcher = FlexibleMatcher(
+        n_bins=n_bins,
+        time_tolerance_bins=config.time_tolerance_bins,
+        taxonomy=taxonomy,
+        include_ancestor_labels=config.include_ancestor_labels,
+    )
+    min_count = db.min_count(config.min_support)
+    index = build_match_index(db.sequences, matcher)
+    results: List[SequentialPattern[TimedItem]] = []
+
+    def grow(prefix: Tuple[TimedItem, ...], projections: Dict[int, FrozenSet[int]]) -> None:
+        gap = config.max_gap_bins if (prefix and config.max_gap_bins is not None) else None
+        # Upper-bound tally: in how many projected sequences does each
+        # candidate occur at all (at any position)?  Only candidates that
+        # could still reach min_count get the exact position check.
+        tally: Dict[TimedItem, int] = {}
+        for seq_index in projections:
+            for candidate in index.seq_candidates[seq_index]:
+                tally[candidate] = tally.get(candidate, 0) + 1
+
+        supported: Dict[TimedItem, Dict[int, FrozenSet[int]]] = {}
+        for candidate, upper in tally.items():
+            if upper < min_count:
+                continue
+            supporters = index.supporters_of(candidate, projections, gap, min_count, upper)
+            if supporters is not None:
+                supported[candidate] = supporters
+
+        if config.canonicalize_bins:
+            supported = _canonicalize(supported)
+
+        for candidate in sorted(supported, key=candidate_sort_key):
+            supporters = supported[candidate]
+            count = len(supporters)
+            pattern_items = prefix + (candidate,)
+            if len(pattern_items) >= config.limits.min_length:
+                results.append(
+                    SequentialPattern(items=pattern_items, count=count, support=count / n)
+                )
+            if config.limits.admits_longer_than(len(pattern_items)):
+                grow(pattern_items, supporters)
+
+    grow((), {i: frozenset({0}) for i in range(n)})
+    return sort_patterns(results)
+
+
+def modified_prefixspan_reference(
+    db: SequenceDatabase[TimedItem],
+    config: ModifiedPrefixSpanConfig = ModifiedPrefixSpanConfig(),
+    taxonomy: Optional[CategoryTree] = None,
+    n_bins: int = 24,
+) -> List[SequentialPattern[TimedItem]]:
+    """The original straight-line miner: global pool re-scan at every node.
+
+    Kept as the parity oracle and the benchmark baseline for
+    :func:`modified_prefixspan`; do not use it on large databases.
     """
     n = len(db)
     if n == 0:
@@ -202,7 +278,7 @@ def modified_prefixspan(
         if config.canonicalize_bins:
             supported = _canonicalize(supported)
 
-        for candidate in sorted(supported, key=lambda c: (c.label, c.bin)):
+        for candidate in sorted(supported, key=candidate_sort_key):
             supporters = supported[candidate]
             count = len(supporters)
             pattern_items = prefix + (candidate,)
@@ -228,7 +304,7 @@ def _canonicalize(
     """
     kept: Dict[TimedItem, Dict[int, FrozenSet[int]]] = {}
     seen: Dict[Tuple[str, Tuple[Tuple[int, FrozenSet[int]], ...]], TimedItem] = {}
-    for candidate in sorted(supported, key=lambda c: (c.label, c.bin)):
+    for candidate in sorted(supported, key=candidate_sort_key):
         evidence = (candidate.label, tuple(sorted(supported[candidate].items())))
         if evidence in seen:
             continue

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, TypeVar
 
 from ..sequences.database import SequenceDatabase
-from .base import MiningLimits, SequentialPattern, sort_patterns
+from .base import MiningLimits, SequentialPattern, sort_patterns, sorted_candidates
 
 __all__ = ["prefixspan"]
 
@@ -59,7 +59,7 @@ def prefixspan(
                 per_seq = first_match.setdefault(seq[k], {})
                 if seq_index not in per_seq:
                     per_seq[seq_index] = k + 1
-        for item in sorted(first_match, key=repr):
+        for item in sorted_candidates(list(first_match)):
             supporters = first_match[item]
             count = len(supporters)
             if count < min_count:

@@ -9,9 +9,11 @@ the unit the crowd layer consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..data.records import CheckInDataset
+from ..exec import ExecConfig, ordered_map
 from ..mining import (
     ModifiedPrefixSpanConfig,
     SequentialPattern,
@@ -22,6 +24,7 @@ from ..sequences import (
     SequenceDatabase,
     TimeBinning,
     TimedItem,
+    build_all_databases,
     build_user_database,
     HOURLY,
 )
@@ -119,6 +122,31 @@ def detect_user_patterns(
     """
     db = build_user_database(dataset, user_id, taxonomy, level, binning,
                              day_kind=day_kind)
+    return _profile_from_db(
+        (user_id, db),
+        taxonomy=taxonomy,
+        level=level,
+        binning=binning,
+        config=config,
+        closed_only=closed_only,
+    )
+
+
+def _profile_from_db(
+    task: Tuple[str, SequenceDatabase[TimedItem]],
+    taxonomy: CategoryTree,
+    level: AbstractionLevel,
+    binning: TimeBinning,
+    config: ModifiedPrefixSpanConfig,
+    closed_only: bool,
+) -> UserPatternProfile:
+    """Mine one prebuilt user database into a profile.
+
+    Module-level (and fed a single ``(user_id, db)`` item) so the process
+    backend can pickle it as a ``functools.partial`` carrying the shared
+    read-only context once per chunk.
+    """
+    user_id, db = task
     patterns = modified_prefixspan(db, config, taxonomy=taxonomy, n_bins=binning.n_bins)
     if closed_only:
         patterns = closed_patterns(patterns)
@@ -139,10 +167,27 @@ def detect_all_patterns(
     config: ModifiedPrefixSpanConfig = ModifiedPrefixSpanConfig(),
     closed_only: bool = True,
     day_kind: str = "all",
+    exec_config: ExecConfig = ExecConfig(),
 ) -> Dict[str, UserPatternProfile]:
-    """Detect every user's patterns; map user id → profile."""
-    return {
-        uid: detect_user_patterns(dataset, uid, taxonomy, level, binning, config,
-                                  closed_only, day_kind)
-        for uid in dataset.user_ids()
-    }
+    """Detect every user's patterns; map user id → profile.
+
+    The per-dataset work (labeler construction, sessionization) happens
+    once up front; each user's mining then runs over ``exec_config`` —
+    serially by default, or fanned out across worker processes with a
+    deterministic ordered merge (output is identical either way).
+    """
+    databases = build_all_databases(dataset, taxonomy, level, binning,
+                                    day_kind=day_kind)
+    user_ids = list(databases)
+    worker = partial(
+        _profile_from_db,
+        taxonomy=taxonomy,
+        level=level,
+        binning=binning,
+        config=config,
+        closed_only=closed_only,
+    )
+    profiles = ordered_map(
+        worker, [(uid, databases[uid]) for uid in user_ids], exec_config
+    )
+    return {profile.user_id: profile for profile in profiles}

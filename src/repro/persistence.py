@@ -10,6 +10,8 @@ plus the dataset.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, Mapping, Union
 
@@ -26,7 +28,13 @@ SCHEMA_VERSION = 1
 def save_profiles(
     profiles: Mapping[str, UserPatternProfile], path: Union[str, Path]
 ) -> Path:
-    """Write all profiles to one JSON file (atomic enough for our use)."""
+    """Write all profiles to one JSON file, atomically.
+
+    The document is staged in a temporary file in the target directory and
+    moved into place with :func:`os.replace`, so a crash mid-save can never
+    truncate a profiles file the platform restarts from: readers see either
+    the old complete document or the new complete document.
+    """
     path = Path(path)
     if not profiles:
         raise ValueError("refusing to save an empty profile collection")
@@ -54,7 +62,23 @@ def save_profiles(
         },
     }
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    # Stage in the target directory (same filesystem) so the final rename
+    # is atomic; clean the temporary up on any failure.
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

@@ -20,6 +20,7 @@ from typing import Dict, Mapping, Optional
 
 from .crowd import CrowdAggregator, CrowdTimeline
 from .data import ActiveUserFilter, CheckInDataset, PreprocessReport, preprocess
+from .exec import ExecConfig
 from .geo import MicrocellGrid
 from .mining import ModifiedPrefixSpanConfig
 from .patterns import UserPatternProfile, detect_all_patterns
@@ -46,6 +47,10 @@ class PipelineConfig:
     evidence_tolerance: int = 1
     #: Skip preprocessing entirely (for already-filtered datasets).
     skip_preprocess: bool = False
+    #: Execution backend for per-user mining and per-window aggregation
+    #: (serial by default; ``ExecConfig.from_workers(n)`` fans out over
+    #: ``n`` worker processes with identical output).
+    exec: ExecConfig = field(default_factory=ExecConfig)
 
 
 @dataclass
@@ -101,6 +106,7 @@ def run_pipeline(
         config=config.mining,
         closed_only=config.closed_only,
         day_kind=config.day_kind,
+        exec_config=config.exec,
     )
 
     # Phase 3 — crowd synchronization & aggregation.
@@ -114,7 +120,7 @@ def run_pipeline(
         pattern_tolerance=config.pattern_tolerance,
         evidence_tolerance=config.evidence_tolerance,
     )
-    timeline = aggregator.timeline()
+    timeline = aggregator.timeline(exec_config=config.exec)
 
     return PipelineResult(
         dataset=filtered,

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import argparse
 
+from dataclasses import replace
+
 from ..data import small_dataset, synthetic_dataset
+from ..exec import ExecConfig
 from ..experiments import small_pipeline_config
 from ..pipeline import PipelineConfig, run_pipeline
 from .server import CrowdWebServer
@@ -42,6 +45,9 @@ def main(argv=None) -> int:
     parser.add_argument("--profiles", default=None,
                         help="load mined profiles from a save_profiles() JSON "
                              "instead of re-mining (phases 1-2 are skipped)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for mining/aggregation "
+                             "(1 = serial, 0 = all cores)")
     args = parser.parse_args(argv)
 
     if args.scale == "paper":
@@ -50,6 +56,7 @@ def main(argv=None) -> int:
     else:
         dataset = small_dataset()
         config = small_pipeline_config()
+    config = replace(config, exec=ExecConfig.from_workers(args.workers))
     print(f"preparing pipeline on {dataset!r} ...")
     if args.profiles:
         result = prepare_from_profiles(dataset, config, args.profiles)

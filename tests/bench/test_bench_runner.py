@@ -1,0 +1,68 @@
+"""The perf-regression runners produce pinned, self-checking reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BENCH_MINING_FILENAME,
+    BENCH_PIPELINE_FILENAME,
+    BenchReport,
+    SCALES,
+    run_mining_bench,
+    run_pipeline_bench,
+    write_reports,
+)
+
+
+def test_scales_are_pinned():
+    """Every scale has an explicit seed, so runs are reproducible."""
+    assert {"smoke", "small", "bench", "paper"} <= set(SCALES)
+    for config in SCALES.values():
+        assert isinstance(config.seed, int)
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError, match="unknown bench scale"):
+        run_mining_bench("galactic")
+
+
+@pytest.fixture(scope="module")
+def smoke_mining_report():
+    return run_mining_bench("smoke", git_rev="testrev")
+
+
+def test_mining_report_shape(smoke_mining_report):
+    report = smoke_mining_report
+    assert report.benchmark == "mining"
+    assert report.scale == "smoke"
+    assert report.seed == SCALES["smoke"].seed
+    assert report.git_rev == "testrev"
+    assert report.n_cpus >= 1
+    reference = report.row("modified_prefixspan_reference")
+    indexed = report.row("modified_prefixspan_indexed")
+    assert reference.speedup_vs_serial == 1.0
+    assert indexed.wall_clock_s > 0
+    # The indexed core must win even at smoke scale; the ≥5× acceptance
+    # figure is measured at the "bench" scale, where indexes amortize more.
+    assert indexed.speedup_vs_serial > 1.0
+
+
+def test_pipeline_report_shape():
+    report = run_pipeline_bench("smoke", workers=(2,), git_rev="testrev")
+    assert report.benchmark == "pipeline"
+    assert report.row("detect_all_patterns_serial").speedup_vs_serial == 1.0
+    fanned = report.row("detect_all_patterns_process_2w")
+    # Parity with serial is asserted inside the runner; here only the
+    # measurement's presence matters (speedup is host-CPU-bound).
+    assert fanned.wall_clock_s > 0
+
+
+def test_write_reports_emits_both_files(tmp_path):
+    mining_path, pipeline_path = write_reports(
+        tmp_path, scale="smoke", workers=(2,)
+    )
+    assert mining_path == tmp_path / BENCH_MINING_FILENAME
+    assert pipeline_path == tmp_path / BENCH_PIPELINE_FILENAME
+    assert BenchReport.load(mining_path).benchmark == "mining"
+    assert BenchReport.load(pipeline_path).benchmark == "pipeline"

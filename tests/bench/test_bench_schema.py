@@ -1,0 +1,89 @@
+"""The ``BENCH_*.json`` schema round-trips exactly."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import BENCH_SCHEMA_VERSION, BenchReport, BenchRow
+
+
+def _report() -> BenchReport:
+    return BenchReport(
+        benchmark="mining",
+        scale="smoke",
+        seed=7,
+        git_rev="abc1234",
+        n_cpus=2,
+        rows=(
+            BenchRow(
+                name="reference",
+                wall_clock_s=1.25,
+                ops_per_sec=2.4,
+                speedup_vs_serial=1.0,
+            ),
+            BenchRow(
+                name="indexed",
+                wall_clock_s=0.25,
+                ops_per_sec=12.0,
+                speedup_vs_serial=5.0,
+            ),
+        ),
+    )
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_is_exact(self):
+        report = _report()
+        assert BenchReport.from_dict(report.to_dict()) == report
+
+    def test_file_roundtrip_is_exact(self, tmp_path):
+        report = _report()
+        path = report.save(tmp_path / "BENCH_mining.json")
+        assert BenchReport.load(path) == report
+
+    def test_payload_is_plain_json(self, tmp_path):
+        path = _report().save(tmp_path / "b.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA_VERSION
+        assert payload["benchmark"] == "mining"
+        assert payload["n_cpus"] == 2
+        assert [row["name"] for row in payload["rows"]] == ["reference", "indexed"]
+
+    def test_row_lookup(self):
+        report = _report()
+        assert report.row("indexed").speedup_vs_serial == 5.0
+        with pytest.raises(KeyError):
+            report.row("nope")
+
+    def test_summary_mentions_every_row(self):
+        text = _report().summary()
+        assert "reference" in text and "indexed" in text
+        assert "2 cpu" in text
+
+
+class TestValidation:
+    def test_unsupported_schema_rejected(self):
+        payload = _report().to_dict()
+        payload["schema"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            BenchReport.from_dict(payload)
+
+    def test_row_needs_a_name(self):
+        with pytest.raises(ValueError, match="name"):
+            BenchRow(name="", wall_clock_s=1.0, ops_per_sec=1.0, speedup_vs_serial=1.0)
+
+    def test_negative_measurements_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BenchRow(
+                name="x", wall_clock_s=-1.0, ops_per_sec=1.0, speedup_vs_serial=1.0
+            )
+
+    def test_report_needs_a_benchmark(self):
+        with pytest.raises(ValueError, match="benchmark"):
+            BenchReport(benchmark="", scale="smoke", seed=1, git_rev="x")
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ValueError, match="n_cpus"):
+            BenchReport(benchmark="b", scale="smoke", seed=1, git_rev="x", n_cpus=0)

@@ -77,3 +77,37 @@ class TestErrors:
         mixed["odd"] = UserPatternProfile("odd", (), 5, binning=TWO_HOURLY)
         with pytest.raises(ValueError, match="share one binning"):
             save_profiles(mixed, tmp_path / "p.json")
+
+
+class TestAtomicity:
+    """A crashed save can never truncate or corrupt an existing file."""
+
+    def test_failed_save_keeps_old_document(self, pipeline_result, tmp_path,
+                                            monkeypatch):
+        path = save_profiles(pipeline_result.profiles, tmp_path / "p.json")
+        before = path.read_text()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.persistence.json.dump", explode)
+        with pytest.raises(OSError, match="disk full"):
+            save_profiles(pipeline_result.profiles, path)
+        assert path.read_text() == before
+        assert load_profiles(path)  # still a complete, valid document
+
+    def test_failed_save_leaves_no_temp_files(self, pipeline_result, tmp_path,
+                                              monkeypatch):
+        target = tmp_path / "p.json"
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.persistence.json.dump", explode)
+        with pytest.raises(OSError):
+            save_profiles(pipeline_result.profiles, target)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_save_leaves_no_temp_files(self, pipeline_result, tmp_path):
+        path = save_profiles(pipeline_result.profiles, tmp_path / "p.json")
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
