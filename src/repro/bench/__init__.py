@@ -5,14 +5,19 @@ optimizing — the phase-2 miner (indexed vs. reference core) and the
 per-user fan-out (serial vs. process backend) — on a deterministic
 synthetic dataset, and writes ``BENCH_mining.json`` / ``BENCH_pipeline.json``
 at the repo root so the perf trajectory is visible in version control and
-CI artifacts.  See ``docs/performance.md`` for how to read and refresh them.
+CI artifacts.  ``run_obs_overhead_bench`` additionally prices the
+observability layer (off vs. on).  Reports embed their run's span trees
+and record working-tree dirtiness; see ``docs/performance.md`` for how to
+read and refresh them.
 """
 
 from .runner import (
     BENCH_MINING_FILENAME,
+    BENCH_OBS_FILENAME,
     BENCH_PIPELINE_FILENAME,
     SCALES,
     run_mining_bench,
+    run_obs_overhead_bench,
     run_pipeline_bench,
     write_reports,
 )
@@ -20,12 +25,14 @@ from .schema import BENCH_SCHEMA_VERSION, BenchReport, BenchRow
 
 __all__ = [
     "BENCH_MINING_FILENAME",
+    "BENCH_OBS_FILENAME",
     "BENCH_PIPELINE_FILENAME",
     "BENCH_SCHEMA_VERSION",
     "BenchReport",
     "BenchRow",
     "SCALES",
     "run_mining_bench",
+    "run_obs_overhead_bench",
     "run_pipeline_bench",
     "write_reports",
 ]

@@ -1,4 +1,10 @@
-"""``python -m repro.bench`` — refresh the BENCH_*.json perf reports."""
+"""``python -m repro.bench`` — refresh the BENCH_*.json perf reports.
+
+A report written from a dirty working tree times code no commit can
+reproduce, so overwriting existing reports is refused (exit 2) until the
+tree is committed — or the refusal is overridden with ``--force``, in
+which case the report records ``dirty: true`` for honesty.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +12,16 @@ import argparse
 from pathlib import Path
 from typing import List, Optional
 
-from .runner import SCALES, run_mining_bench, run_pipeline_bench
+from .runner import (
+    BENCH_MINING_FILENAME,
+    BENCH_OBS_FILENAME,
+    BENCH_PIPELINE_FILENAME,
+    SCALES,
+    _git_state,
+    run_mining_bench,
+    run_obs_overhead_bench,
+    run_pipeline_bench,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -24,18 +39,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="N", help="process-backend worker counts to time")
     parser.add_argument("--repeats", type=int, default=1,
                         help="timing repetitions (best-of; default 1)")
+    parser.add_argument("--obs-overhead", action="store_true",
+                        help="also time observability off vs. on and write "
+                             f"{BENCH_OBS_FILENAME}")
+    parser.add_argument("--force", action="store_true",
+                        help="overwrite existing reports even from a dirty "
+                             "working tree (the report records dirty: true)")
     args = parser.parse_args(argv)
+
+    targets = [args.out / BENCH_MINING_FILENAME, args.out / BENCH_PIPELINE_FILENAME]
+    if args.obs_overhead:
+        targets.append(args.out / BENCH_OBS_FILENAME)
+    _, dirty = _git_state()
+    existing = [t for t in targets if t.exists()]
+    if dirty and existing and not args.force:
+        names = ", ".join(t.name for t in existing)
+        print(f"refusing to overwrite {names}: the working tree is dirty, so "
+              "the numbers would not match any commit.\n"
+              "Commit first, or rerun with --force to record dirty: true.")
+        return 2
 
     args.out.mkdir(parents=True, exist_ok=True)
     mining = run_mining_bench(args.scale, repeats=args.repeats)
-    path = mining.save(args.out / "BENCH_mining.json")
+    path = mining.save(args.out / BENCH_MINING_FILENAME)
     print(mining.summary())
     print(f"wrote {path}")
     pipeline = run_pipeline_bench(args.scale, workers=args.workers,
                                   repeats=args.repeats)
-    path = pipeline.save(args.out / "BENCH_pipeline.json")
+    path = pipeline.save(args.out / BENCH_PIPELINE_FILENAME)
     print(pipeline.summary())
     print(f"wrote {path}")
+    if args.obs_overhead:
+        obs = run_obs_overhead_bench(args.scale, repeats=args.repeats)
+        path = obs.save(args.out / BENCH_OBS_FILENAME)
+        print(obs.summary())
+        print(f"wrote {path}")
     return 0
 
 

@@ -11,9 +11,18 @@ scale, times the competing implementations, and returns a
 * :func:`run_pipeline_bench` — the execution layer:
   :func:`~repro.patterns.detect_all_patterns` serial vs. the process
   backend at several worker counts (ops = users mined).
+* :func:`run_obs_overhead_bench` — the observability layer's cost:
+  serial phase 2 with the observer off vs. on, outputs asserted identical.
+
+Every runner executes under a scoped :func:`repro.obs.observed` observer
+and embeds its exported span trees in the report (``BenchReport.trace``),
+so a ``BENCH_*.json`` carries its own profile.  Reports also record
+whether the working tree was dirty; ``python -m repro.bench`` refuses to
+overwrite committed reports from a dirty tree unless ``--force``-d.
 
 ``write_reports`` is what CI and ``python -m repro.bench`` call: it runs
-both and writes ``BENCH_mining.json`` / ``BENCH_pipeline.json``.
+the mining and pipeline benches and writes ``BENCH_mining.json`` /
+``BENCH_pipeline.json``.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from ..mining import (
     modified_prefixspan,
     modified_prefixspan_reference,
 )
+from ..obs import NULL_OBSERVER, observed, set_observer
 from ..patterns import detect_all_patterns
 from ..sequences import build_all_databases
 from ..taxonomy import build_default_taxonomy
@@ -39,15 +49,18 @@ from .schema import BenchReport, BenchRow
 
 __all__ = [
     "BENCH_MINING_FILENAME",
+    "BENCH_OBS_FILENAME",
     "BENCH_PIPELINE_FILENAME",
     "SCALES",
     "run_mining_bench",
+    "run_obs_overhead_bench",
     "run_pipeline_bench",
     "write_reports",
 ]
 
 BENCH_MINING_FILENAME = "BENCH_mining.json"
 BENCH_PIPELINE_FILENAME = "BENCH_pipeline.json"
+BENCH_OBS_FILENAME = "BENCH_obs.json"
 
 #: Data scales, all fully pinned by their config seed.  ``smoke`` is the CI
 #: gate (seconds); ``bench`` matches the figure benchmarks' mid-sized city;
@@ -84,9 +97,8 @@ def _available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _git_rev() -> str:
-    """Short git revision (``-dirty`` suffixed when the tree has changes),
-    or ``unknown`` outside a checkout."""
+def _git_state() -> Tuple[str, bool]:
+    """(short revision or ``unknown``, does the tree have uncommitted changes?)."""
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -96,10 +108,10 @@ def _git_rev() -> str:
             check=False,
         )
     except OSError:
-        return "unknown"
+        return "unknown", False
     rev = out.stdout.strip()
     if out.returncode != 0 or not rev:
-        return "unknown"
+        return "unknown", False
     try:
         status = subprocess.run(
             ["git", "status", "--porcelain"],
@@ -109,10 +121,24 @@ def _git_rev() -> str:
             check=False,
         )
     except OSError:
-        return rev
-    if status.returncode == 0 and status.stdout.strip():
-        return f"{rev}-dirty"
-    return rev
+        return rev, False
+    return rev, status.returncode == 0 and bool(status.stdout.strip())
+
+
+def _git_rev() -> str:
+    """Short git revision (``-dirty`` suffixed when the tree has changes),
+    or ``unknown`` outside a checkout."""
+    rev, dirty = _git_state()
+    return f"{rev}-dirty" if dirty else rev
+
+
+def _stamp(git_rev: Optional[str]) -> Tuple[str, bool]:
+    """The (git_rev, dirty) pair a report should carry: an explicit caller
+    override (assumed clean) or the probed state."""
+    if git_rev is not None:
+        return git_rev, False
+    rev, dirty = _git_state()
+    return (f"{rev}-dirty" if dirty else rev), dirty
 
 
 def _time(fn, repeats: int) -> Tuple[float, object]:
@@ -149,8 +175,13 @@ def run_mining_bench(
     def run_reference() -> List:
         return [modified_prefixspan_reference(db, cfg, taxonomy) for cfg in configs]
 
-    reference_s, reference_out = _time(run_reference, repeats)
-    indexed_s, indexed_out = _time(run_indexed, repeats)
+    with observed() as o:
+        with o.span("bench.modified_prefixspan_reference", scale=scale,
+                    repeats=repeats):
+            reference_s, reference_out = _time(run_reference, repeats)
+        with o.span("bench.modified_prefixspan_indexed", scale=scale,
+                    repeats=repeats):
+            indexed_s, indexed_out = _time(run_indexed, repeats)
     if indexed_out != reference_out:
         raise AssertionError(
             "indexed and reference miners disagree — refusing to report a "
@@ -171,13 +202,16 @@ def run_mining_bench(
             speedup_vs_serial=reference_s / indexed_s if indexed_s else 0.0,
         ),
     )
+    rev, dirty = _stamp(git_rev)
     return BenchReport(
         benchmark="mining",
         scale=scale,
         seed=synth.seed,
-        git_rev=git_rev if git_rev is not None else _git_rev(),
+        git_rev=rev,
         n_cpus=_available_cpus(),
         rows=rows,
+        dirty=dirty,
+        trace=tuple(o.tracer.export()),
     )
 
 
@@ -197,40 +231,125 @@ def run_pipeline_bench(
     dataset = generate(synth).dataset
     n_users = dataset.n_users
 
-    serial_s, baseline = _time(lambda: detect_all_patterns(dataset, taxonomy), repeats)
-    rows = [
-        BenchRow(
-            name="detect_all_patterns_serial",
-            wall_clock_s=serial_s,
-            ops_per_sec=n_users / serial_s if serial_s else 0.0,
-            speedup_vs_serial=1.0,
-        )
-    ]
-    for n in workers:
-        exec_config = ExecConfig(backend="process", n_workers=n)
-        elapsed, profiles = _time(
-            lambda: detect_all_patterns(dataset, taxonomy, exec_config=exec_config),
-            repeats,
-        )
-        if profiles != baseline:
-            raise AssertionError(
-                f"process backend ({n} workers) diverged from serial output"
+    with observed() as o:
+        with o.span("bench.detect_all_serial", scale=scale, repeats=repeats):
+            serial_s, baseline = _time(
+                lambda: detect_all_patterns(dataset, taxonomy), repeats
             )
-        rows.append(
+        rows = [
             BenchRow(
-                name=f"detect_all_patterns_process_{n}w",
-                wall_clock_s=elapsed,
-                ops_per_sec=n_users / elapsed if elapsed else 0.0,
-                speedup_vs_serial=serial_s / elapsed if elapsed else 0.0,
+                name="detect_all_patterns_serial",
+                wall_clock_s=serial_s,
+                ops_per_sec=n_users / serial_s if serial_s else 0.0,
+                speedup_vs_serial=1.0,
             )
-        )
+        ]
+        for n in workers:
+            exec_config = ExecConfig(backend="process", n_workers=n)
+            with o.span(f"bench.detect_all_process_{n}w", scale=scale,
+                        repeats=repeats):
+                elapsed, profiles = _time(
+                    lambda: detect_all_patterns(
+                        dataset, taxonomy, exec_config=exec_config
+                    ),
+                    repeats,
+                )
+            if profiles != baseline:
+                raise AssertionError(
+                    f"process backend ({n} workers) diverged from serial output"
+                )
+            rows.append(
+                BenchRow(
+                    name=f"detect_all_patterns_process_{n}w",
+                    wall_clock_s=elapsed,
+                    ops_per_sec=n_users / elapsed if elapsed else 0.0,
+                    speedup_vs_serial=serial_s / elapsed if elapsed else 0.0,
+                )
+            )
+    rev, dirty = _stamp(git_rev)
     return BenchReport(
         benchmark="pipeline",
         scale=scale,
         seed=synth.seed,
-        git_rev=git_rev if git_rev is not None else _git_rev(),
+        git_rev=rev,
         n_cpus=_available_cpus(),
         rows=tuple(rows),
+        dirty=dirty,
+        trace=tuple(o.tracer.export()),
+    )
+
+
+def run_obs_overhead_bench(
+    scale: str = "bench",
+    repeats: int = 3,
+    git_rev: Optional[str] = None,
+    max_overhead_ratio: float = 0.0,
+) -> BenchReport:
+    """Time serial phase 2 with observability off vs. on.
+
+    Guards the "observability is free when off, cheap when on" promise:
+    both variants' profiles are asserted identical before any timing is
+    reported, so instrumentation can never change the science.  The
+    disabled row is the baseline (``speedup_vs_serial=1.0``); the enabled
+    row's speedup is its slowdown factor (e.g. 0.99 ≈ 1% overhead).
+
+    ``max_overhead_ratio`` > 0 additionally asserts the enabled run is
+    within that fraction of the disabled one (e.g. 0.02 for 2%) — off by
+    default because single-digit-percent wall-clock asserts are flaky on
+    shared CI hosts; the report records the ratio either way.
+    """
+    synth = _config_for(scale)
+    taxonomy = build_default_taxonomy()
+    dataset = generate(synth).dataset
+    n_users = dataset.n_users
+
+    # Pin the observer state for each variant, whatever the caller had.
+    previous = set_observer(NULL_OBSERVER)
+    try:
+        off_s, baseline = _time(
+            lambda: detect_all_patterns(dataset, taxonomy), repeats
+        )
+        with observed() as o:
+            on_s, instrumented = _time(
+                lambda: detect_all_patterns(dataset, taxonomy), repeats
+            )
+        trace = tuple(o.tracer.export())
+    finally:
+        set_observer(previous)
+    if instrumented != baseline:
+        raise AssertionError(
+            "enabling observability changed detect_all_patterns output"
+        )
+    overhead = (on_s - off_s) / off_s if off_s else 0.0
+    if max_overhead_ratio > 0 and overhead > max_overhead_ratio:
+        raise AssertionError(
+            f"observability overhead {overhead:.1%} exceeds the "
+            f"{max_overhead_ratio:.0%} budget ({off_s:.3f}s off, {on_s:.3f}s on)"
+        )
+    rows = (
+        BenchRow(
+            name="detect_all_obs_disabled",
+            wall_clock_s=off_s,
+            ops_per_sec=n_users / off_s if off_s else 0.0,
+            speedup_vs_serial=1.0,
+        ),
+        BenchRow(
+            name="detect_all_obs_enabled",
+            wall_clock_s=on_s,
+            ops_per_sec=n_users / on_s if on_s else 0.0,
+            speedup_vs_serial=off_s / on_s if on_s else 0.0,
+        ),
+    )
+    rev, dirty = _stamp(git_rev)
+    return BenchReport(
+        benchmark="obs_overhead",
+        scale=scale,
+        seed=synth.seed,
+        git_rev=rev,
+        n_cpus=_available_cpus(),
+        rows=rows,
+        dirty=dirty,
+        trace=trace,
     )
 
 

@@ -4,6 +4,14 @@ A report is one benchmark run: which benchmark, at which data scale, from
 which git revision, plus one row per timed variant.  The schema is
 versioned and round-trips exactly (``BenchReport.from_dict(r.to_dict()) == r``),
 so future PRs can diff reports mechanically.
+
+Schema history
+--------------
+* **v1** — benchmark/scale/seed/git_rev/n_cpus/rows.
+* **v2** — adds ``dirty`` (was the working tree dirty when the report was
+  written?) and ``trace`` (the run's exported span trees from
+  :mod:`repro.obs`, empty when observability was off).  v1 payloads still
+  load, with ``dirty=False`` and an empty trace.
 """
 
 from __future__ import annotations
@@ -15,7 +23,11 @@ from typing import Dict, Tuple, Union
 
 __all__ = ["BENCH_SCHEMA_VERSION", "BenchReport", "BenchRow"]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+
+#: Schema versions ``from_dict`` still understands; older versions get
+#: defaults for the fields they predate.
+_COMPATIBLE_SCHEMAS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -64,6 +76,12 @@ class BenchReport:
     ``n_cpus`` records the CPUs actually available to the run (cgroup/affinity
     aware) — process-backend speedups are meaningless without it: on a 1-CPU
     host even a perfectly parallel fan-out cannot beat serial wall clock.
+
+    ``dirty`` records whether the working tree had uncommitted changes:
+    a dirty report times code that no commit can reproduce, so the CLI
+    refuses to overwrite committed reports with one unless ``--force``-d.
+    ``trace`` optionally embeds the run's exported span trees
+    (:meth:`repro.obs.Tracer.export`) so a report carries its own profile.
     """
 
     benchmark: str
@@ -72,9 +90,12 @@ class BenchReport:
     git_rev: str
     n_cpus: int = 1
     rows: Tuple[BenchRow, ...] = field(default_factory=tuple)
+    dirty: bool = False
+    trace: Tuple[Dict, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "rows", tuple(self.rows))
+        object.__setattr__(self, "trace", tuple(self.trace))
         if not self.benchmark:
             raise ValueError("a bench report needs a benchmark name")
         if self.n_cpus < 1:
@@ -88,15 +109,18 @@ class BenchReport:
             "seed": self.seed,
             "git_rev": self.git_rev,
             "n_cpus": self.n_cpus,
+            "dirty": self.dirty,
             "rows": [row.to_dict() for row in self.rows],
+            "trace": list(self.trace),
         }
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "BenchReport":
         schema = payload.get("schema")
-        if schema != BENCH_SCHEMA_VERSION:
+        if schema not in _COMPATIBLE_SCHEMAS:
             raise ValueError(
-                f"unsupported bench schema {schema!r} (expected {BENCH_SCHEMA_VERSION})"
+                f"unsupported bench schema {schema!r} "
+                f"(expected one of {_COMPATIBLE_SCHEMAS})"
             )
         return cls(
             benchmark=str(payload["benchmark"]),
@@ -105,6 +129,8 @@ class BenchReport:
             git_rev=str(payload["git_rev"]),
             n_cpus=int(payload.get("n_cpus", 1)),
             rows=tuple(BenchRow.from_dict(row) for row in payload["rows"]),
+            dirty=bool(payload.get("dirty", False)),
+            trace=tuple(payload.get("trace", ())),
         )
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -124,9 +150,10 @@ class BenchReport:
         raise KeyError(f"no bench row named {name!r}")
 
     def summary(self) -> str:
+        dirty = ", dirty tree" if self.dirty else ""
         lines = [
             f"{self.benchmark} @ {self.scale} "
-            f"(seed {self.seed}, rev {self.git_rev}, {self.n_cpus} cpu)"
+            f"(seed {self.seed}, rev {self.git_rev}, {self.n_cpus} cpu{dirty})"
         ]
         for row in self.rows:
             lines.append(

@@ -30,6 +30,8 @@ from ..data import (
 from ..exec import ExecConfig
 from ..experiments import run_all, small_pipeline_config
 from ..mining import ModifiedPrefixSpanConfig
+from ..obs import enable as obs_enable, get_observer, render_metrics, \
+    render_trace_tree, save_dump
 from ..patterns import detect_user_patterns, summarize_profile
 from ..pipeline import PipelineConfig, run_pipeline
 from ..taxonomy import AbstractionLevel, build_default_taxonomy
@@ -49,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for mining/aggregation "
                             "(1 = serial, 0 = all cores)")
 
+    def add_trace_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", action="store_true",
+                       help="enable observability: print the trace tree and "
+                            "metrics afterwards, and write the dump file "
+                            "`python -m repro.obs` reads")
+
     p_generate = sub.add_parser("generate", help="synthesize a dataset")
     p_generate.add_argument("output", type=Path, help="output file (.tsv/.csv/.jsonl)")
     p_generate.add_argument("--scale", choices=["small", "paper"], default="small")
@@ -62,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mine.add_argument("user_id")
     p_mine.add_argument("--min-support", type=float, default=0.5)
     p_mine.add_argument("--level", choices=["venue", "leaf", "root"], default="root")
+    add_trace_flag(p_mine)
 
     p_crowd = sub.add_parser("crowd", help="crowd snapshot at one hour")
     p_crowd.add_argument("dataset", type=Path)
@@ -71,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_crowd.add_argument("--months", type=int, default=2,
                          help="densest-window length in months")
     add_workers_flag(p_crowd)
+    add_trace_flag(p_crowd)
 
     p_figures = sub.add_parser("figures", help="regenerate all paper figures")
     p_figures.add_argument("output_dir", type=Path)
@@ -88,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_predict.add_argument("--min-days", type=int, default=25)
     p_predict.add_argument("--months", type=int, default=2)
     add_workers_flag(p_predict)
+    add_trace_flag(p_predict)
 
     p_export = sub.add_parser("export-spmf",
                               help="export a user's sequence DB + patterns in SPMF format")
@@ -121,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_comm.add_argument("--months", type=int, default=2)
     p_comm.add_argument("--min-similarity", type=float, default=0.05)
     add_workers_flag(p_comm)
+    add_trace_flag(p_comm)
 
     return parser
 
@@ -364,7 +376,20 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    traced = getattr(args, "trace", False)
+    if traced:
+        obs_enable()
+    code = _COMMANDS[args.command](args)
+    if traced:
+        observer = get_observer()
+        print()
+        print(render_trace_tree(observer.tracer.export()))
+        print()
+        print(render_metrics(observer.registry.snapshot()))
+        path = save_dump(observer)
+        print(f"\nobservability dump written to {path} "
+              f"(inspect with `python -m repro.obs`)")
+    return code
 
 
 if __name__ == "__main__":

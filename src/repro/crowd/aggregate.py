@@ -125,7 +125,8 @@ class CrowdAggregator:
         """
         windows = windows_for(self.binning, bins_per_window)
         snapshots = ordered_map(
-            partial(_snapshot_window, aggregator=self), windows, exec_config
+            partial(_snapshot_window, aggregator=self), windows, exec_config,
+            label="snapshot_window",
         )
         return CrowdTimeline(snapshots=tuple(snapshots))
 

@@ -1,0 +1,73 @@
+"""Docs↔layer-map sync gate (``python -m repro.devtools.docscheck``).
+
+Every layer declared in :data:`repro.devtools.layers.LAYER_MAP` must be
+mentioned — as ``repro.<layer>`` — in ``docs/architecture.md`` or
+``docs/api.md``.  A layer someone adds to the import DAG without a word of
+documentation fails CI (the ``docs-check`` job), which is how the
+architecture chapter stays honest as the codebase grows.
+
+Like the rest of ``repro.devtools`` this reads the repository as text and
+imports nothing from the rest of the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .layers import LAYER_MAP
+
+__all__ = ["DOC_FILES", "check_docs", "main"]
+
+#: Repo-relative documentation files a layer may be covered in.
+DOC_FILES = ("docs/architecture.md", "docs/api.md")
+
+
+def check_docs(root: Path, layers: Optional[Sequence[str]] = None) -> List[str]:
+    """One problem string per undocumented layer (empty = docs in sync).
+
+    ``layers`` defaults to every key of :data:`LAYER_MAP`; tests pass a
+    synthetic list to exercise the failure path.
+    """
+    layers = sorted(layers if layers is not None else LAYER_MAP)
+    texts: Dict[str, str] = {}
+    problems: List[str] = []
+    for rel in DOC_FILES:
+        path = root / rel
+        if path.is_file():
+            texts[rel] = path.read_text(encoding="utf-8")
+        else:
+            problems.append(f"missing documentation file: {rel}")
+    for layer in layers:
+        needle = f"repro.{layer}"
+        if not any(needle in text for text in texts.values()):
+            problems.append(
+                f"layer {layer!r} is declared in devtools/layers.py but "
+                f"`{needle}` appears in none of: {', '.join(DOC_FILES)}"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.docscheck",
+        description="Fail when a layer in the import DAG has no mention "
+                    "in docs/architecture.md or docs/api.md",
+    )
+    parser.add_argument("--root", type=Path, default=Path("."),
+                        help="repository root (default: current directory)")
+    args = parser.parse_args(argv)
+    problems = check_docs(args.root)
+    for problem in problems:
+        print(f"docscheck: {problem}")
+    if problems:
+        print(f"docscheck: {len(problems)} problem(s) found")
+        return 1
+    print(f"docscheck ok: all {len(LAYER_MAP)} layers covered in "
+          f"{' and '.join(DOC_FILES)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,8 +8,9 @@ invert the architecture.
 
 Reading the map bottom-up:
 
-* ``geo``, ``taxonomy`` and ``exec`` (the process-pool execution layer) are
-  foundations — they import nothing internal.
+* ``geo``, ``taxonomy`` and ``obs`` (the observability substrate) are
+  foundations — they import nothing internal; ``exec`` (the process-pool
+  execution layer) sits just above, importing only ``obs``.
 * ``data`` → ``sequences`` → ``mining`` is the record/sequence/pattern spine.
 * ``crowd`` (the paper's §5 synchronization layer) sits on patterns and
   sequences but must never reach up into ``viz``/``web``.
@@ -32,27 +33,49 @@ ROOT_PACKAGE = "repro"
 
 LAYER_MAP: Dict[str, FrozenSet[str]] = {
     # foundations
-    "exec": frozenset(),
     "geo": frozenset(),
+    "obs": frozenset(),
     "taxonomy": frozenset(),
+    "exec": frozenset({"obs"}),
     # data spine
     "data": frozenset({"geo", "taxonomy"}),
     "sequences": frozenset({"data", "geo", "taxonomy"}),
-    "mining": frozenset({"sequences", "taxonomy"}),
+    "mining": frozenset({"obs", "sequences", "taxonomy"}),
     # analytics over the spine
     "analysis": frozenset({"data", "geo"}),
-    "patterns": frozenset({"data", "exec", "mining", "sequences", "taxonomy"}),
+    "patterns": frozenset({"data", "exec", "mining", "obs", "sequences", "taxonomy"}),
     "prediction": frozenset({"geo", "mining", "sequences"}),
-    "crowd": frozenset({"data", "exec", "geo", "patterns", "sequences", "taxonomy"}),
+    "crowd": frozenset(
+        {"data", "exec", "geo", "obs", "patterns", "sequences", "taxonomy"}
+    ),
     # presentation
     "viz": frozenset({"crowd", "data", "geo", "sequences"}),
     # top-level orchestration modules
     "pipeline": frozenset(
-        {"crowd", "data", "exec", "geo", "mining", "patterns", "sequences", "taxonomy"}
+        {
+            "crowd",
+            "data",
+            "exec",
+            "geo",
+            "mining",
+            "obs",
+            "patterns",
+            "sequences",
+            "taxonomy",
+        }
     ),
     # perf-regression harness: times the spine end to end
     "bench": frozenset(
-        {"data", "exec", "mining", "patterns", "pipeline", "sequences", "taxonomy"}
+        {
+            "data",
+            "exec",
+            "mining",
+            "obs",
+            "patterns",
+            "pipeline",
+            "sequences",
+            "taxonomy",
+        }
     ),
     "persistence": frozenset({"mining", "patterns", "sequences", "taxonomy"}),
     # harnesses
@@ -79,6 +102,7 @@ LAYER_MAP: Dict[str, FrozenSet[str]] = {
             "exec",
             "experiments",
             "geo",
+            "obs",
             "patterns",
             "persistence",
             "pipeline",
@@ -95,6 +119,7 @@ LAYER_MAP: Dict[str, FrozenSet[str]] = {
             "exec",
             "experiments",
             "mining",
+            "obs",
             "patterns",
             "pipeline",
             "sequences",

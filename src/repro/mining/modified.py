@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..obs import DEPTH_BUCKETS, get_observer
 from ..sequences.database import SequenceDatabase
 from ..sequences.items import TimedItem
 from ..taxonomy import CategoryTree, UnknownCategoryError
@@ -177,7 +178,21 @@ def modified_prefixspan(
     index = build_match_index(db.sequences, matcher)
     results: List[SequentialPattern[TimedItem]] = []
 
+    # Structural counters for the observability layer.  The tallies are
+    # plain local ints (negligible next to the matching work) so the mined
+    # output and recursion order are identical whether or not an observer
+    # is active; everything is emitted in one shot at the end.
+    observer = get_observer()
+    n_nodes = 0
+    n_pruned_upper = 0  # candidates skipped by the occurrence upper bound
+    n_pruned_exact = 0  # candidates rejected by the exact supporter scan
+    node_depths: List[int] = []
+
     def grow(prefix: Tuple[TimedItem, ...], projections: Dict[int, FrozenSet[int]]) -> None:
+        nonlocal n_nodes, n_pruned_upper, n_pruned_exact
+        n_nodes += 1
+        if observer.enabled:
+            node_depths.append(len(prefix))
         gap = config.max_gap_bins if (prefix and config.max_gap_bins is not None) else None
         # Upper-bound tally: in how many projected sequences does each
         # candidate occur at all (at any position)?  Only candidates that
@@ -190,10 +205,13 @@ def modified_prefixspan(
         supported: Dict[TimedItem, Dict[int, FrozenSet[int]]] = {}
         for candidate, upper in tally.items():
             if upper < min_count:
+                n_pruned_upper += 1
                 continue
             supporters = index.supporters_of(candidate, projections, gap, min_count, upper)
             if supporters is not None:
                 supported[candidate] = supporters
+            else:
+                n_pruned_exact += 1
 
         if config.canonicalize_bins:
             supported = _canonicalize(supported)
@@ -210,6 +228,19 @@ def modified_prefixspan(
                 grow(pattern_items, supporters)
 
     grow((), {i: frozenset({0}) for i in range(n)})
+    if observer.enabled:
+        observer.inc("repro_mining_runs_total")
+        observer.inc("repro_mining_nodes_total", n_nodes)
+        observer.inc("repro_mining_prune_upper_total", n_pruned_upper)
+        observer.inc("repro_mining_prune_exact_total", n_pruned_exact)
+        observer.observe(
+            "repro_mining_candidate_pool_size", index.n_candidates(),
+            buckets=(8, 16, 32, 64, 128, 256, 512, 1024, 2048),
+        )
+        for depth in node_depths:
+            observer.observe(
+                "repro_mining_projection_depth", depth, buckets=DEPTH_BUCKETS
+            )
     return sort_patterns(results)
 
 

@@ -1,0 +1,71 @@
+"""Observability: tracing spans, a metrics registry, and their runtime.
+
+The package is dependency-free and imports nothing else from ``repro`` — it
+sits at the foundation of the layer map so every hot path (mining, exec,
+pipeline, web) can instrument itself against the process-global
+:class:`Observer` without inverting the architecture.
+
+Instrumentation is **opt-in and zero-cost when off**: the default active
+observer is a shared null object whose methods return immediately.  Turn it
+on with :func:`enable` (process-wide), :func:`observed` (scoped), the
+``PipelineConfig.obs`` flag, or the CLI's ``--trace``.  See
+``docs/observability.md`` for the span model and metric naming conventions.
+
+Quick taste::
+
+    from repro.obs import observed, render_trace_tree
+
+    with observed() as o:
+        with o.span("demo.outer", n_items=3):
+            with o.span("demo.inner"):
+                ...
+    print(render_trace_tree(o.tracer.export()))
+"""
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEPTH_BUCKETS,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .render import render_metrics, render_trace_tree
+from .runtime import (
+    DEFAULT_DUMP_FILENAME,
+    DUMP_PATH_ENV,
+    NULL_OBSERVER,
+    Observer,
+    default_dump_path,
+    disable,
+    enable,
+    get_observer,
+    load_dump,
+    observed,
+    save_dump,
+    set_observer,
+    span,
+)
+from .trace import Span, Tracer
+
+__all__ = [
+    "DEFAULT_DUMP_FILENAME",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "DEPTH_BUCKETS",
+    "DUMP_PATH_ENV",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NullRegistry",
+    "Observer",
+    "Span",
+    "Tracer",
+    "default_dump_path",
+    "disable",
+    "enable",
+    "get_observer",
+    "load_dump",
+    "observed",
+    "render_metrics",
+    "render_trace_tree",
+    "save_dump",
+    "set_observer",
+    "span",
+]

@@ -1,0 +1,97 @@
+"""``python -m repro.obs`` — inspect the last observability dump.
+
+With no arguments, reads the dump written by a ``--trace`` run (default
+``.crowdweb-obs.json``, overridable via ``$CROWDWEB_OBS_DUMP`` or
+``--path``) and pretty-prints the trace tree plus the metrics snapshot.
+``--selftest`` exercises the whole subsystem in-process instead — CI runs it
+as a cheap end-to-end check of spans, metrics, rendering, and dumps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+from .render import render_metrics, render_trace_tree
+from .runtime import default_dump_path, load_dump, observed, save_dump
+
+
+def selftest() -> int:
+    """End-to-end exercise of spans, metrics, rendering, and dump I/O."""
+    with observed() as o:
+        with o.span("selftest.root", stage="outer") as root:
+            with o.span("selftest.child"):
+                o.inc("repro_obs_selftest_total", 2)
+                o.set_gauge("repro_obs_selftest_gauge", 1.5)
+                o.observe("repro_obs_selftest_latency_s", 0.003, label="child")
+            root.set("checked", True)
+        with tempfile.TemporaryDirectory() as tmp:
+            dump_path = save_dump(o, Path(tmp) / "selftest.json")
+            state = load_dump(dump_path)
+
+    roots = state["trace"]
+    assert len(roots) == 1, f"expected 1 root span, got {len(roots)}"
+    root_span = roots[0]
+    assert root_span["name"] == "selftest.root"
+    assert root_span["attrs"] == {"stage": "outer", "checked": True}
+    children = root_span.get("children", [])
+    assert [c["name"] for c in children] == ["selftest.child"]
+    assert root_span["wall_s"] >= children[0]["wall_s"] >= 0.0
+
+    metrics = state["metrics"]
+    assert metrics["counters"]["repro_obs_selftest_total"][""] == 2
+    assert metrics["gauges"]["repro_obs_selftest_gauge"][""] == 1.5
+    histogram = metrics["histograms"]["repro_obs_selftest_latency_s"]["child"]
+    assert histogram["count"] == 1 and sum(histogram["counts"]) == 1
+
+    tree = render_trace_tree(roots)
+    assert "selftest.root" in tree and "selftest.child" in tree
+    table = render_metrics(metrics)
+    assert "repro_obs_selftest_total" in table
+
+    print("obs selftest ok: 1 trace tree, 3 metric series, dump round-trip")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Pretty-print the last observability dump "
+                    "(trace tree + metrics snapshot)",
+    )
+    parser.add_argument("--path", type=Path, default=None,
+                        help="dump file to read (default: $CROWDWEB_OBS_DUMP "
+                             "or ./.crowdweb-obs.json)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw dump JSON instead of rendering")
+    parser.add_argument("--selftest", action="store_true",
+                        help="exercise the observability subsystem and exit")
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+
+    path = args.path if args.path is not None else default_dump_path()
+    if not path.exists():
+        print(f"no observability dump at {path} — run a command with --trace "
+              f"first (e.g. `crowdweb crowd data.csv --trace`)")
+        return 1
+    state = load_dump(path)
+    if args.json:
+        print(json.dumps(state, indent=1))
+        return 0
+    print(f"observability dump: {path}")
+    print()
+    print("trace:")
+    print(render_trace_tree(state.get("trace", [])))
+    print()
+    print("metrics:")
+    print(render_metrics(state.get("metrics", {})))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

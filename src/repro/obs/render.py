@@ -1,0 +1,92 @@
+"""Human-readable rendering of trace trees and metric snapshots.
+
+Both renderers consume the *plain-dict* export formats
+(:meth:`repro.obs.trace.Tracer.export`,
+:meth:`repro.obs.registry.MetricsRegistry.snapshot`), not live objects, so
+``python -m repro.obs`` can render a dump written by an earlier process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["render_metrics", "render_trace_tree"]
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.1f}ms"
+
+
+def _fmt_attrs(attrs: Mapping) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return "  {" + inner + "}"
+
+
+def _render_span(span: Mapping, prefix: str, is_last: bool, lines: List[str]) -> None:
+    connector = "" if not prefix and is_last else ("└─ " if is_last else "├─ ")
+    head = f"{prefix}{connector}{span['name']}"
+    timing = f"{_fmt_duration(span.get('wall_s', 0.0))} (cpu {_fmt_duration(span.get('cpu_s', 0.0))})"
+    status = span.get("status", "ok")
+    flag = "" if status == "ok" else f"  [{status}]"
+    lines.append(f"{head:<44} {timing}{flag}{_fmt_attrs(span.get('attrs', {}))}")
+    children = span.get("children", [])
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    for i, child in enumerate(children):
+        _render_span(child, child_prefix, i == len(children) - 1, lines)
+    dropped = span.get("n_dropped_children", 0)
+    if dropped:
+        lines.append(f"{child_prefix}… {dropped} more child span(s) not retained")
+
+
+def render_trace_tree(roots: Sequence[Mapping]) -> str:
+    """Render exported root spans as an indented tree, oldest first.
+
+    Each line shows the span name, wall-clock and CPU duration, a status
+    flag when the span ended in an exception, and its attributes.
+    """
+    if not roots:
+        return "(no spans recorded)"
+    lines: List[str] = []
+    for root in roots:
+        _render_span(root, "", True, lines)
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: Mapping) -> str:
+    """Render a registry snapshot: counters, gauges, then histograms."""
+    counters: Dict = snapshot.get("counters", {})
+    gauges: Dict = snapshot.get("gauges", {})
+    histograms: Dict = snapshot.get("histograms", {})
+    if not (counters or gauges or histograms):
+        return "(no metrics recorded)"
+
+    lines: List[str] = []
+
+    def series_lines(kind: str, table: Dict, fmt) -> None:
+        if not table:
+            return
+        lines.append(f"{kind}:")
+        for name in sorted(table):
+            for label in sorted(table[name]):
+                series = name + (f"{{{label}}}" if label else "")
+                lines.append(f"  {series:<52} {fmt(table[name][label])}")
+
+    series_lines("counters", counters, lambda v: f"{v:g}")
+    series_lines("gauges", gauges, lambda v: f"{v:g}")
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            for label in sorted(histograms[name]):
+                data = histograms[name][label]
+                series = name + (f"{{{label}}}" if label else "")
+                count = data.get("count", 0)
+                mean = (data.get("sum", 0.0) / count) if count else 0.0
+                lines.append(
+                    f"  {series:<52} n={count} mean={mean:.6g} "
+                    f"min={data.get('min')} max={data.get('max')}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""The process-global observability runtime.
+
+One :class:`Observer` bundles a :class:`~repro.obs.registry.MetricsRegistry`
+and a :class:`~repro.obs.trace.Tracer` behind a single ``enabled`` switch.
+Instrumented hot paths fetch the active observer with :func:`get_observer`
+and call ``span`` / ``inc`` / ``observe`` / ``set_gauge`` on it; when
+observability is off (the default), the active observer is the shared
+:data:`NULL_OBSERVER`, whose methods return immediately without touching the
+registry or tracer — the disabled path allocates nothing and its overhead is
+one attribute check per call site.
+
+* :func:`enable` installs a live observer process-wide (idempotent — an
+  already-live observer is kept, so nested enables share one trace).
+* :func:`disable` restores the null observer.
+* :func:`observed` is the scoped variant for tests and harnesses: a fresh
+  live observer for the duration of the ``with`` block, the previous one
+  restored after.
+
+A run's final state can be written to a JSON dump (:func:`save_dump`) that
+``python -m repro.obs`` pretty-prints later; the CLI's ``--trace`` flag does
+exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from .registry import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry, NullRegistry
+from .trace import Tracer
+
+__all__ = [
+    "DUMP_PATH_ENV",
+    "DEFAULT_DUMP_FILENAME",
+    "NULL_OBSERVER",
+    "Observer",
+    "default_dump_path",
+    "disable",
+    "enable",
+    "get_observer",
+    "load_dump",
+    "observed",
+    "save_dump",
+    "set_observer",
+    "span",
+]
+
+#: Environment variable overriding where ``--trace`` dumps are written/read.
+DUMP_PATH_ENV = "CROWDWEB_OBS_DUMP"
+DEFAULT_DUMP_FILENAME = ".crowdweb-obs.json"
+
+
+class _NullSpan:
+    """The reusable do-nothing span of the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Observer:
+    """A registry + tracer pair behind one ``enabled`` switch.
+
+    When ``enabled`` is false every method returns immediately — the
+    registry and tracer are never consulted, which is what makes a
+    *sentinel* registry assertable in tests: install one on a disabled
+    observer and any recorded metric is a bug.
+    """
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    # ------------------------------------------------------- instrumentation
+
+    def span(self, name: str, **attrs):
+        """A context manager timing one region (no-op when disabled)."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return self.tracer.span(name, **attrs)
+
+    def inc(self, name: str, value: float = 1, label: str = "") -> None:
+        if self.enabled:
+            self.registry.inc(name, value, label)
+
+    def set_gauge(self, name: str, value: float, label: str = "") -> None:
+        if self.enabled:
+            self.registry.set_gauge(name, value, label)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        label: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> None:
+        if self.enabled:
+            self.registry.observe(name, value, label, buckets)
+
+    # --------------------------------------------------------------- export
+
+    def metrics_payload(self) -> Dict:
+        """The ``GET /metrics`` JSON payload."""
+        payload: Dict = {"enabled": self.enabled}
+        payload.update(self.registry.snapshot())
+        return payload
+
+    def export_state(self) -> Dict:
+        """Everything the observer holds, as one JSON-ready dict."""
+        return {
+            "enabled": self.enabled,
+            "exported_unix_s": round(time.time(), 3),
+            "metrics": self.registry.snapshot(),
+            "trace": self.tracer.export(),
+        }
+
+
+#: The shared disabled observer — the default active observer.
+NULL_OBSERVER = Observer(enabled=False, registry=NullRegistry(), tracer=Tracer())
+
+_active: Observer = NULL_OBSERVER
+
+
+def get_observer() -> Observer:
+    """The currently active observer (the null observer when disabled)."""
+    return _active
+
+
+def set_observer(observer: Observer) -> Observer:
+    """Install ``observer`` process-wide; returns the previous one."""
+    global _active
+    previous = _active
+    _active = observer
+    return previous
+
+
+def enable(
+    registry: Optional[MetricsRegistry] = None, tracer: Optional[Tracer] = None
+) -> Observer:
+    """Turn observability on process-wide and return the live observer.
+
+    Idempotent: if a live observer is already installed it is returned
+    unchanged (so ``PipelineConfig.obs`` inside an ``observed()`` block
+    joins the surrounding trace instead of clobbering it).
+    """
+    global _active
+    if not _active.enabled:
+        _active = Observer(enabled=True, registry=registry, tracer=tracer)
+    return _active
+
+
+def disable() -> None:
+    """Turn observability off process-wide (drops the live observer)."""
+    global _active
+    _active = NULL_OBSERVER
+
+
+@contextmanager
+def observed(
+    registry: Optional[MetricsRegistry] = None, tracer: Optional[Tracer] = None
+) -> Iterator[Observer]:
+    """Scoped observability: a fresh live observer inside the ``with`` block.
+
+    The previously active observer (usually the null one) is restored on
+    exit, so tests cannot leak instrumentation into each other.
+    """
+    observer = Observer(enabled=True, registry=registry, tracer=tracer)
+    previous = set_observer(observer)
+    try:
+        yield observer
+    finally:
+        set_observer(previous)
+
+
+def span(name: str, **attrs):
+    """Module-level convenience: a span on the active observer."""
+    return _active.span(name, **attrs)
+
+
+# ------------------------------------------------------------------- dumps
+
+
+def default_dump_path() -> Path:
+    """Where ``--trace`` dumps go: ``$CROWDWEB_OBS_DUMP`` or the cwd file."""
+    override = os.environ.get(DUMP_PATH_ENV)
+    return Path(override) if override else Path(DEFAULT_DUMP_FILENAME)
+
+
+def save_dump(
+    observer: Optional[Observer] = None, path: Union[str, Path, None] = None
+) -> Path:
+    """Write an observer's full state as JSON; returns the path written."""
+    observer = observer if observer is not None else _active
+    path = Path(path) if path is not None else default_dump_path()
+    path.write_text(
+        json.dumps(observer.export_state(), indent=1, default=str) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_dump(path: Union[str, Path, None] = None) -> Dict:
+    """Read a dump written by :func:`save_dump`."""
+    path = Path(path) if path is not None else default_dump_path()
+    return json.loads(path.read_text(encoding="utf-8"))

@@ -20,6 +20,7 @@ from ..mining import (
     closed_patterns,
     modified_prefixspan,
 )
+from ..obs import get_observer
 from ..sequences import (
     SequenceDatabase,
     TimeBinning,
@@ -176,18 +177,22 @@ def detect_all_patterns(
     serially by default, or fanned out across worker processes with a
     deterministic ordered merge (output is identical either way).
     """
-    databases = build_all_databases(dataset, taxonomy, level, binning,
-                                    day_kind=day_kind)
-    user_ids = list(databases)
-    worker = partial(
-        _profile_from_db,
-        taxonomy=taxonomy,
-        level=level,
-        binning=binning,
-        config=config,
-        closed_only=closed_only,
-    )
-    profiles = ordered_map(
-        worker, [(uid, databases[uid]) for uid in user_ids], exec_config
-    )
+    with get_observer().span("patterns.detect_all") as span:
+        databases = build_all_databases(dataset, taxonomy, level, binning,
+                                        day_kind=day_kind)
+        user_ids = list(databases)
+        worker = partial(
+            _profile_from_db,
+            taxonomy=taxonomy,
+            level=level,
+            binning=binning,
+            config=config,
+            closed_only=closed_only,
+        )
+        profiles = ordered_map(
+            worker, [(uid, databases[uid]) for uid in user_ids], exec_config,
+            label="mine_user",
+        )
+        span.set("n_users", len(user_ids))
+        span.set("n_patterns", sum(p.n_patterns for p in profiles))
     return {profile.user_id: profile for profile in profiles}

@@ -23,6 +23,7 @@ from .data import ActiveUserFilter, CheckInDataset, PreprocessReport, preprocess
 from .exec import ExecConfig
 from .geo import MicrocellGrid
 from .mining import ModifiedPrefixSpanConfig
+from .obs import enable as obs_enable, get_observer
 from .patterns import UserPatternProfile, detect_all_patterns
 from .sequences import HOURLY, TimeBinning
 from .taxonomy import AbstractionLevel, CategoryTree, build_default_taxonomy
@@ -51,6 +52,14 @@ class PipelineConfig:
     #: (serial by default; ``ExecConfig.from_workers(n)`` fans out over
     #: ``n`` worker processes with identical output).
     exec: ExecConfig = field(default_factory=ExecConfig)
+    #: Turn on observability (:mod:`repro.obs`) for this run: one trace
+    #: span per phase plus pipeline metrics, readable afterwards via
+    #: ``repro.obs.get_observer()``.  Enabling is process-global and
+    #: sticky (``repro.obs.disable()`` resets); when ``False`` — the
+    #: default — the run joins an already-enabled observer but never
+    #: creates one, and with observability fully off the pipeline output
+    #: is byte-identical to the uninstrumented code path.
+    obs: bool = False
 
 
 @dataclass
@@ -85,42 +94,60 @@ def run_pipeline(
 ) -> PipelineResult:
     """Run all three phases on a dataset and return the bundled result."""
     taxonomy = taxonomy or build_default_taxonomy()
+    if config.obs:
+        obs_enable()
+    o = get_observer()
 
-    # Phase 1 — data acquisition & pre-processing.
-    if config.skip_preprocess:
-        filtered, report = dataset, None
-    else:
-        filtered, report = preprocess(dataset, config.window_months, config.activity)
-    if len(filtered) == 0:
-        raise ValueError(
-            "preprocessing removed every record; relax the activity criteria "
-            f"(kept {filtered.n_users} users from {dataset.n_users})"
-        )
+    with o.span("pipeline.run", n_records=len(dataset), n_users=dataset.n_users):
+        o.inc("repro_pipeline_runs_total")
 
-    # Phase 2 — individual mobility pattern detection.
-    profiles = detect_all_patterns(
-        filtered,
-        taxonomy,
-        level=config.level,
-        binning=config.binning,
-        config=config.mining,
-        closed_only=config.closed_only,
-        day_kind=config.day_kind,
-        exec_config=config.exec,
-    )
+        # Phase 1 — data acquisition & pre-processing.
+        with o.span("pipeline.preprocess") as phase:
+            if config.skip_preprocess:
+                filtered, report = dataset, None
+            else:
+                filtered, report = preprocess(
+                    dataset, config.window_months, config.activity
+                )
+            if len(filtered) == 0:
+                raise ValueError(
+                    "preprocessing removed every record; relax the activity criteria "
+                    f"(kept {filtered.n_users} users from {dataset.n_users})"
+                )
+            phase.set("n_records_kept", len(filtered))
+            phase.set("n_users_kept", filtered.n_users)
 
-    # Phase 3 — crowd synchronization & aggregation.
-    grid = MicrocellGrid(filtered.bounding_box().expand(0.002), config.cell_size_m)
-    aggregator = CrowdAggregator(
-        profiles,
-        filtered,
-        grid,
-        taxonomy,
-        binning=config.binning,
-        pattern_tolerance=config.pattern_tolerance,
-        evidence_tolerance=config.evidence_tolerance,
-    )
-    timeline = aggregator.timeline(exec_config=config.exec)
+        # Phase 2 — individual mobility pattern detection.
+        with o.span("pipeline.detect") as phase:
+            profiles = detect_all_patterns(
+                filtered,
+                taxonomy,
+                level=config.level,
+                binning=config.binning,
+                config=config.mining,
+                closed_only=config.closed_only,
+                day_kind=config.day_kind,
+                exec_config=config.exec,
+            )
+            phase.set("n_users", len(profiles))
+            phase.set("n_patterns", sum(p.n_patterns for p in profiles.values()))
+
+        # Phase 3 — crowd synchronization & aggregation.
+        with o.span("pipeline.aggregate") as phase:
+            grid = MicrocellGrid(
+                filtered.bounding_box().expand(0.002), config.cell_size_m
+            )
+            aggregator = CrowdAggregator(
+                profiles,
+                filtered,
+                grid,
+                taxonomy,
+                binning=config.binning,
+                pattern_tolerance=config.pattern_tolerance,
+                evidence_tolerance=config.evidence_tolerance,
+            )
+            timeline = aggregator.timeline(exec_config=config.exec)
+            phase.set("n_windows", len(timeline))
 
     return PipelineResult(
         dataset=filtered,

@@ -9,6 +9,7 @@ from dataclasses import replace
 from ..data import small_dataset, synthetic_dataset
 from ..exec import ExecConfig
 from ..experiments import small_pipeline_config
+from ..obs import enable as obs_enable
 from ..pipeline import PipelineConfig, run_pipeline
 from .server import CrowdWebServer
 
@@ -48,8 +49,13 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker processes for mining/aggregation "
                              "(1 = serial, 0 = all cores)")
+    parser.add_argument("--trace", action="store_true",
+                        help="enable observability: traces pipeline prep and "
+                             "every request, served back at GET /metrics")
     args = parser.parse_args(argv)
 
+    if args.trace:
+        obs_enable()
     if args.scale == "paper":
         dataset = synthetic_dataset()
         config = PipelineConfig()

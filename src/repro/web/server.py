@@ -18,17 +18,26 @@ Routes
 ``GET /api/occupancy``      JSON per-cell occupancy across all windows
 ``GET /api/communities``    JSON behavioural communities (?min_similarity=)
 ``GET /api/metrics/<id>``   JSON mobility analytics for one user
+``GET /metrics``            JSON observability snapshot (:mod:`repro.obs`)
 ==========================  =======================================
+
+Every request runs inside a ``web.request`` trace span, and its latency is
+recorded in the ``repro_web_request_latency_s`` histogram under a
+*normalized* endpoint label (``/user/:id``, not ``/user/u042``) so metric
+cardinality stays bounded.  All of that is a no-op until observability is
+enabled (``repro.obs.enable()`` or ``--trace`` on the CLI).
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from ..obs import get_observer
 from ..pipeline import PipelineResult
 from .api import CrowdWebAPI
 from .pages import Pages
@@ -36,14 +45,21 @@ from .pages import Pages
 __all__ = ["CrowdWebServer", "route_request"]
 
 
-def route_request(api: CrowdWebAPI, pages: Pages, path: str) -> Tuple[int, str, str]:
-    """Dispatch one GET request path → (status, content_type, body).
+def _endpoint_of(segments: List[str]) -> str:
+    """Normalize a request path to a bounded-cardinality endpoint label.
 
-    Pure function (no sockets) so the whole routing table is unit-testable.
+    Keeps the leading route words (two after ``api``, one otherwise) and
+    collapses the trailing identifier segments to ``:id``.
     """
-    parsed = urlparse(path)
-    segments = [s for s in parsed.path.split("/") if s]
-    query = parse_qs(parsed.query)
+    if not segments:
+        return "/"
+    keep = 2 if segments[0] == "api" else 1
+    parts = segments[:keep] + [":id"] * min(1, len(segments) - keep)
+    return "/" + "/".join(parts)
+
+
+def _dispatch(api: CrowdWebAPI, pages: Pages, parsed, segments, query) -> Tuple[int, str, str]:
+    """The routing table proper (wrapped by :func:`route_request`)."""
 
     def ok_json(payload) -> Tuple[int, str, str]:
         return 200, "application/json", json.dumps(payload)
@@ -73,6 +89,8 @@ def route_request(api: CrowdWebAPI, pages: Pages, path: str) -> Tuple[int, str, 
             return ok_html(pages.communities())
         if segments[0] == "analytics":
             return ok_html(pages.analytics())
+        if segments[0] == "metrics" and len(segments) == 1:
+            return ok_json(get_observer().metrics_payload())
         if segments[0] == "api":
             if len(segments) == 2 and segments[1] == "users":
                 return ok_json(api.users())
@@ -107,6 +125,35 @@ def route_request(api: CrowdWebAPI, pages: Pages, path: str) -> Tuple[int, str, 
         return not_found(parsed.path)
     except (ValueError, IndexError) as exc:
         return 400, "application/json", json.dumps({"error": str(exc)})
+
+
+def route_request(api: CrowdWebAPI, pages: Pages, path: str) -> Tuple[int, str, str]:
+    """Dispatch one GET request path → (status, content_type, body).
+
+    Pure function (no sockets) so the whole routing table is unit-testable.
+    When observability is enabled the request is traced and its latency
+    recorded per normalized endpoint; disabled, this adds one attribute
+    check over the raw dispatch.
+    """
+    parsed = urlparse(path)
+    segments = [s for s in parsed.path.split("/") if s]
+    query = parse_qs(parsed.query)
+
+    observer = get_observer()
+    if not observer.enabled:
+        return _dispatch(api, pages, parsed, segments, query)
+
+    endpoint = _endpoint_of(segments)
+    with observer.span("web.request", endpoint=endpoint) as span:
+        start = time.perf_counter()
+        status, content_type, body = _dispatch(api, pages, parsed, segments, query)
+        elapsed_s = time.perf_counter() - start
+        span.set("status", status)
+        observer.observe("repro_web_request_latency_s", elapsed_s, label=endpoint)
+        observer.inc("repro_web_requests_total", label=endpoint)
+        if status >= 400:
+            observer.inc("repro_web_errors_total", label=endpoint)
+    return status, content_type, body
 
 
 class CrowdWebServer:

@@ -10,6 +10,7 @@ from repro.bench import (
     BenchReport,
     SCALES,
     run_mining_bench,
+    run_obs_overhead_bench,
     run_pipeline_bench,
     write_reports,
 )
@@ -56,6 +57,60 @@ def test_pipeline_report_shape():
     # Parity with serial is asserted inside the runner; here only the
     # measurement's presence matters (speedup is host-CPU-bound).
     assert fanned.wall_clock_s > 0
+
+
+def test_obs_overhead_report_shape():
+    report = run_obs_overhead_bench("smoke", repeats=1, git_rev="testrev")
+    assert report.benchmark == "obs_overhead"
+    assert report.dirty is False
+    disabled = report.row("detect_all_obs_disabled")
+    enabled = report.row("detect_all_obs_enabled")
+    assert disabled.speedup_vs_serial == 1.0
+    assert enabled.wall_clock_s > 0
+    # The instrumented leg's trace rides along in the report.
+    assert report.trace
+    assert report.trace[0]["name"] == "patterns.detect_all"
+
+
+class TestDirtyTreeGuard:
+    def _run(self, monkeypatch, tmp_path, dirty, argv=()):
+        import repro.bench.__main__ as bench_main
+        import repro.bench.runner as bench_runner
+
+        monkeypatch.setattr(bench_main, "_git_state",
+                            lambda: ("abc1234", dirty))
+        monkeypatch.setattr(bench_runner, "_git_state",
+                            lambda: ("abc1234", dirty))
+        return bench_main.main(
+            ["--scale", "smoke", "--workers", "2", "--out", str(tmp_path),
+             *argv]
+        )
+
+    def test_refuses_to_overwrite_on_dirty_tree(self, monkeypatch, tmp_path,
+                                                capsys):
+        (tmp_path / BENCH_MINING_FILENAME).write_text("{}")
+        assert self._run(monkeypatch, tmp_path, dirty=True) == 2
+        out = capsys.readouterr().out
+        assert "refusing to overwrite" in out
+        assert BENCH_MINING_FILENAME in out
+        assert "--force" in out
+        # The refusal happened before any benchmark ran or file changed.
+        assert (tmp_path / BENCH_MINING_FILENAME).read_text() == "{}"
+        assert not (tmp_path / BENCH_PIPELINE_FILENAME).exists()
+
+    def test_dirty_tree_without_existing_reports_proceeds(self, monkeypatch,
+                                                          tmp_path):
+        assert self._run(monkeypatch, tmp_path, dirty=True) == 0
+        assert (tmp_path / BENCH_MINING_FILENAME).exists()
+        assert (tmp_path / BENCH_PIPELINE_FILENAME).exists()
+
+    def test_force_overwrites_and_stamps_dirty(self, monkeypatch, tmp_path):
+        (tmp_path / BENCH_MINING_FILENAME).write_text("{}")
+        assert self._run(monkeypatch, tmp_path, dirty=True,
+                         argv=("--force",)) == 0
+        report = BenchReport.load(tmp_path / BENCH_MINING_FILENAME)
+        assert report.dirty is True
+        assert report.git_rev.endswith("-dirty")
 
 
 def test_write_reports_emits_both_files(tmp_path):

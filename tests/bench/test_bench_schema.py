@@ -63,6 +63,38 @@ class TestRoundtrip:
         assert "2 cpu" in text
 
 
+class TestSchemaHistory:
+    def test_v2_fields_roundtrip(self):
+        report = BenchReport(
+            benchmark="obs_overhead",
+            scale="smoke",
+            seed=7,
+            git_rev="abc1234-dirty",
+            n_cpus=2,
+            dirty=True,
+            trace=({"name": "patterns.detect_all", "wall_s": 0.5},),
+        )
+        restored = BenchReport.from_dict(report.to_dict())
+        assert restored == report
+        assert restored.dirty is True
+        assert restored.trace[0]["name"] == "patterns.detect_all"
+
+    def test_v1_payload_loads_with_defaults(self):
+        """Committed schema-1 reports stay readable: dirty/trace default."""
+        payload = _report().to_dict()
+        payload["schema"] = 1
+        del payload["dirty"]
+        del payload["trace"]
+        report = BenchReport.from_dict(payload)
+        assert report.dirty is False
+        assert report.trace == ()
+
+    def test_summary_flags_dirty_reports(self):
+        report = BenchReport(benchmark="b", scale="smoke", seed=1,
+                             git_rev="x-dirty", dirty=True)
+        assert "dirty tree" in report.summary()
+
+
 class TestValidation:
     def test_unsupported_schema_rejected(self):
         payload = _report().to_dict()

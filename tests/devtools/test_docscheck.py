@@ -1,0 +1,55 @@
+"""The docs↔layer-map sync gate (``repro.devtools.docscheck``)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.devtools.docscheck import DOC_FILES, check_docs, main
+from repro.devtools.layers import LAYER_MAP
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _docs_tree(tmp_path: Path, text: str = "repro.geo is documented") -> Path:
+    (tmp_path / "docs").mkdir()
+    for rel in DOC_FILES:
+        (tmp_path / rel).write_text(text, encoding="utf-8")
+    return tmp_path
+
+
+class TestRealRepo:
+    def test_this_repository_is_in_sync(self):
+        """Every declared layer is mentioned in the docs — the CI gate."""
+        assert check_docs(REPO_ROOT) == []
+
+    def test_main_exits_zero_here(self, capsys):
+        assert main(["--root", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert f"all {len(LAYER_MAP)} layers" in out
+
+
+class TestFailurePaths:
+    def test_undocumented_layer_is_flagged(self, tmp_path):
+        root = _docs_tree(tmp_path)
+        problems = check_docs(root, layers=["geo", "zzz"])
+        assert len(problems) == 1
+        assert "'zzz'" in problems[0]
+        assert "repro.zzz" in problems[0]
+
+    def test_missing_doc_file_is_flagged(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / DOC_FILES[0]).write_text("repro.geo", encoding="utf-8")
+        problems = check_docs(tmp_path, layers=["geo"])
+        assert problems == [f"missing documentation file: {DOC_FILES[1]}"]
+
+    def test_substring_layer_names_do_not_mask_each_other(self, tmp_path):
+        # "repro.data" must not satisfy a hypothetical "repro.data_extra".
+        root = _docs_tree(tmp_path, text="only repro.data here")
+        problems = check_docs(root, layers=["data", "data_extra"])
+        assert len(problems) == 1 and "'data_extra'" in problems[0]
+
+    def test_main_exits_nonzero_on_problems(self, tmp_path, capsys):
+        (tmp_path / "docs").mkdir()
+        assert main(["--root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "problem(s) found" in out

@@ -1,0 +1,100 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry, NullRegistry
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_test_events_total")
+        reg.inc("repro_test_events_total", 4)
+        assert reg.counter("repro_test_events_total") == 5
+
+    def test_labels_are_independent_series(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_test_events_total", label="a")
+        reg.inc("repro_test_events_total", 2, label="b")
+        assert reg.counter("repro_test_events_total", label="a") == 1
+        assert reg.counter("repro_test_events_total", label="b") == 2
+        snap = reg.snapshot()
+        assert sorted(snap["counters"]["repro_test_events_total"]) == ["a", "b"]
+
+    def test_unknown_series_reads_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_test_missing_total") == 0
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("repro_test_level_ratio", 0.5)
+        reg.set_gauge("repro_test_level_ratio", 0.75)
+        assert reg.gauge("repro_test_level_ratio") == 0.75
+
+
+class TestHistograms:
+    def test_bucket_placement_is_noncumulative_with_overflow(self):
+        reg = MetricsRegistry()
+        for v in (0.5, 1.5, 5.0):
+            reg.observe("repro_test_latency_s", v, buckets=(1.0, 2.0))
+        data = reg.histogram("repro_test_latency_s")
+        assert data["buckets"] == [1.0, 2.0]
+        assert data["counts"] == [1, 1, 1]  # one per bin + one overflow
+        assert data["count"] == 3
+        assert data["sum"] == 7.0
+        assert data["min"] == 0.5 and data["max"] == 5.0
+
+    def test_boundary_value_lands_in_its_bound_bin(self):
+        reg = MetricsRegistry()
+        reg.observe("repro_test_latency_s", 1.0, buckets=(1.0, 2.0))
+        assert reg.histogram("repro_test_latency_s")["counts"] == [1, 0, 0]
+
+    def test_histogram_labels_sorted(self):
+        reg = MetricsRegistry()
+        reg.observe("repro_test_latency_s", 0.1, label="b")
+        reg.observe("repro_test_latency_s", 0.1, label="a")
+        assert reg.labels_of("repro_test_latency_s") == ["a", "b"]
+
+    def test_default_latency_buckets_are_sorted(self):
+        assert list(DEFAULT_LATENCY_BUCKETS_S) == sorted(DEFAULT_LATENCY_BUCKETS_S)
+
+
+class TestSnapshot:
+    def test_shape_and_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_test_events_total", label="x")
+        reg.set_gauge("repro_test_level_ratio", 1.0)
+        reg.observe("repro_test_latency_s", 0.01)
+        snap = reg.snapshot()
+        assert snap["counters"]["repro_test_events_total"]["x"] == 1
+        assert snap["gauges"]["repro_test_level_ratio"][""] == 1.0
+        assert snap["histograms"]["repro_test_latency_s"][""]["count"] == 1
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_concurrent_incs_do_not_lose_counts(self):
+        reg = MetricsRegistry()
+
+        def worker():
+            for _ in range(200):
+                reg.inc("repro_test_events_total")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("repro_test_events_total") == 800
+
+
+class TestNullRegistry:
+    def test_mutators_record_nothing(self):
+        reg = NullRegistry()
+        reg.inc("repro_test_events_total")
+        reg.set_gauge("repro_test_level_ratio", 1.0)
+        reg.observe("repro_test_latency_s", 0.5)
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

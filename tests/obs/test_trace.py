@@ -1,0 +1,200 @@
+"""The tracer: nesting, bounds, error status, runtime switch, dumps."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_OBSERVER,
+    Observer,
+    Tracer,
+    disable,
+    enable,
+    get_observer,
+    load_dump,
+    observed,
+    render_metrics,
+    render_trace_tree,
+    save_dump,
+    set_observer,
+)
+
+
+class TestNesting:
+    def test_children_attach_to_the_enclosing_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b") as b:
+                b.set("k", 1)
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert outer.children[1].attrs == {"k": 1}
+
+    def test_export_is_plain_dicts(self):
+        tracer = Tracer()
+        with tracer.span("outer", tag="x"):
+            with tracer.span("inner"):
+                pass
+        (root,) = tracer.export()
+        assert root["name"] == "outer"
+        assert root["status"] == "ok"
+        assert root["attrs"] == {"tag": "x"}
+        assert [c["name"] for c in root["children"]] == ["inner"]
+        assert root["wall_s"] >= 0 and root["cpu_s"] >= 0
+
+    def test_error_status_and_exception_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (root,) = tracer.roots()
+        assert root.status == "error:ValueError"
+
+    def test_threads_trace_independently(self):
+        tracer = Tracer()
+
+        def worker(name):
+            with tracer.span(name):
+                pass
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Each thread's span completed on its own stack → three roots,
+        # none nested inside another.
+        assert sorted(r.name for r in tracer.roots()) == ["t0", "t1", "t2"]
+        assert all(not r.children for r in tracer.roots())
+
+
+class TestBounds:
+    def test_root_ring_buffer_drops_oldest(self):
+        tracer = Tracer(max_roots=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [r.name for r in tracer.roots()] == ["b", "c"]
+        assert tracer.last_root().name == "c"
+
+    def test_children_cap_counts_overflow(self):
+        tracer = Tracer(max_children=1)
+        with tracer.span("parent") as parent:
+            with tracer.span("kept"):
+                pass
+            with tracer.span("dropped"):
+                pass
+        assert [c.name for c in parent.children] == ["kept"]
+        assert parent.n_dropped_children == 1
+        assert tracer.export()[0]["n_dropped_children"] == 1
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_roots=0)
+
+    def test_reset_drops_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == [] and tracer.last_root() is None
+
+
+class TestRuntimeSwitch:
+    def test_disabled_by_default_and_spans_are_noops(self):
+        observer = get_observer()
+        assert observer is NULL_OBSERVER and not observer.enabled
+        with observer.span("ignored") as span:
+            span.set("k", 1)  # must not raise, must not record
+        assert observer.tracer.roots() == []
+
+    def test_enable_disable_roundtrip(self):
+        try:
+            live = enable()
+            assert get_observer() is live and live.enabled
+            assert enable() is live  # idempotent: keeps the live observer
+        finally:
+            disable()
+        assert get_observer() is NULL_OBSERVER
+
+    def test_observed_restores_previous_observer(self):
+        assert not get_observer().enabled
+        with observed() as o:
+            assert get_observer() is o
+            with o.span("inside"):
+                pass
+        assert not get_observer().enabled
+        assert [r.name for r in o.tracer.roots()] == ["inside"]
+
+    def test_observed_restores_even_on_error(self):
+        with pytest.raises(RuntimeError):
+            with observed():
+                raise RuntimeError("boom")
+        assert not get_observer().enabled
+
+    def test_set_observer_returns_previous(self):
+        mine = Observer()
+        previous = set_observer(mine)
+        try:
+            assert get_observer() is mine
+        finally:
+            set_observer(previous)
+
+
+class TestRendering:
+    def test_tree_rendering_mentions_every_span(self):
+        tracer = Tracer()
+        with tracer.span("pipeline.run", n_users=4):
+            with tracer.span("pipeline.detect"):
+                pass
+        text = render_trace_tree(tracer.export())
+        assert "pipeline.run" in text and "pipeline.detect" in text
+        assert "n_users=4" in text
+        assert render_trace_tree([]) == "(no spans recorded)"
+
+    def test_metrics_rendering(self):
+        with observed() as o:
+            o.inc("repro_test_events_total", 3, label="x")
+            o.set_gauge("repro_test_level_ratio", 0.5)
+            o.observe("repro_test_latency_s", 0.01)
+        text = render_metrics(o.registry.snapshot())
+        assert "repro_test_events_total{x}" in text
+        assert "repro_test_level_ratio" in text
+        assert "n=1" in text
+        assert render_metrics({}) == "(no metrics recorded)"
+
+
+class TestDump:
+    def test_dump_round_trip(self, tmp_path):
+        with observed() as o:
+            with o.span("run", n=1):
+                o.inc("repro_test_events_total")
+        path = save_dump(o, tmp_path / "obs.json")
+        payload = load_dump(path)
+        assert payload["enabled"] is True
+        assert payload["trace"][0]["name"] == "run"
+        assert payload["metrics"]["counters"]["repro_test_events_total"][""] == 1
+
+    def test_env_var_overrides_dump_path(self, tmp_path, monkeypatch):
+        from repro.obs import DUMP_PATH_ENV, default_dump_path
+
+        target = tmp_path / "custom.json"
+        monkeypatch.setenv(DUMP_PATH_ENV, str(target))
+        assert default_dump_path() == target
+        with observed() as o:
+            pass
+        assert save_dump(o) == target
+        assert load_dump()["enabled"] is True
+
+
+class TestSelftest:
+    def test_module_selftest_passes(self, capsys):
+        from repro.obs.__main__ import main
+
+        assert main(["--selftest"]) == 0
+        assert "selftest ok" in capsys.readouterr().out

@@ -128,6 +128,50 @@ class TestSpikesRoute:
         assert payload["z_threshold"] == 3.5
 
 
+class TestObservability:
+    def test_metrics_endpoint_when_disabled(self, handlers):
+        status, ctype, body = route_request(*handlers, "/metrics")
+        assert status == 200
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["enabled"] is False
+        assert payload["counters"] == {}
+
+    def test_traced_requests_feed_the_metrics_endpoint(self, handlers,
+                                                       pipeline_result):
+        from repro.obs import observed
+
+        uid = sorted(pipeline_result.profiles)[0]
+        with observed():
+            route_request(*handlers, "/api/users")
+            route_request(*handlers, f"/api/user/{uid}")
+            route_request(*handlers, f"/api/user/{uid}")
+            route_request(*handlers, "/api/crowd/banana")  # a 400
+            status, _, body = route_request(*handlers, "/metrics")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        requests = payload["counters"]["repro_web_requests_total"]
+        # Endpoint labels are normalized: ids collapse to :id.
+        assert requests["/api/users"] == 1
+        assert requests["/api/user/:id"] == 2
+        assert payload["counters"]["repro_web_errors_total"]["/api/crowd/:id"] == 1
+        latency = payload["histograms"]["repro_web_request_latency_s"]
+        assert latency["/api/user/:id"]["count"] == 2
+        assert len(latency["/api/user/:id"]["counts"]) == \
+            len(latency["/api/user/:id"]["buckets"]) + 1
+
+    def test_request_spans_record_endpoint_and_status(self, handlers):
+        from repro.obs import observed
+
+        with observed() as o:
+            route_request(*handlers, "/user/ghost")
+        (root,) = o.tracer.export()
+        assert root["name"] == "web.request"
+        assert root["attrs"]["endpoint"] == "/user/:id"
+        assert root["attrs"]["status"] == 404
+
+
 class TestServeFromProfiles:
     def test_prepare_from_profiles(self, pipeline_result, small_ds, tmp_path):
         from repro.experiments import small_pipeline_config
