@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""CI smoke: the crowdlint result cache must actually work.
+
+Runs the engine twice over the real tree with a fresh cache directory and
+asserts, at the engine level (no interpreter startup noise):
+
+1. the cold run analyzes every file and the warm run analyzes **zero**;
+2. both runs produce identical findings;
+3. the warm run is at least ``MIN_SPEEDUP``x faster wall-clock.  The cold
+   run parses and walks ~100 ASTs while the warm run only hashes file
+   contents, so even a 1-CPU runner clears 5x with a wide margin; the
+   structural check (analyzed == 0) is the load-bearing assertion.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.devtools.cache import LintCache
+from repro.devtools.engine import LintEngine
+
+MIN_SPEEDUP = 5.0
+PATHS = [Path("src"), Path("tests")]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="crowdlint-smoke-") as tmp:
+        cache = LintCache(root=Path(tmp))
+
+        engine = LintEngine()
+        t0 = time.perf_counter()
+        cold = engine.lint_paths(PATHS, cache=cache)
+        cold_s = time.perf_counter() - t0
+        cold_stats = engine.last_stats
+
+        t0 = time.perf_counter()
+        warm = engine.lint_paths(PATHS, cache=cache)
+        warm_s = time.perf_counter() - t0
+        warm_stats = engine.last_stats
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(
+        f"cold: {cold_stats.files} files, {cold_stats.analyzed} analyzed, "
+        f"{cold_s * 1000:.0f} ms"
+    )
+    print(
+        f"warm: {warm_stats.files} files, {warm_stats.analyzed} analyzed, "
+        f"{warm_stats.cache_hits} cache hits, {warm_s * 1000:.0f} ms "
+        f"({speedup:.1f}x)"
+    )
+
+    problems = []
+    if cold_stats.analyzed != cold_stats.files:
+        problems.append("cold run did not analyze every file")
+    if warm_stats.analyzed != 0:
+        problems.append(f"warm run re-analyzed {warm_stats.analyzed} file(s)")
+    if warm_stats.cache_hits != warm_stats.files:
+        problems.append("warm run was not served entirely from the cache")
+    if [f.as_dict() for f in cold] != [f.as_dict() for f in warm]:
+        problems.append("cached findings differ from analyzed findings")
+    if speedup < MIN_SPEEDUP:
+        problems.append(f"warm relint only {speedup:.1f}x faster (need {MIN_SPEEDUP}x)")
+    for problem in problems:
+        print(f"lint-cache-smoke: FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("lint-cache-smoke: ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

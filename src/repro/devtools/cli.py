@@ -1,6 +1,16 @@
 """Command-line interface for crowdlint.
 
-Exit codes: 0 = clean, 1 = findings, 2 = usage or internal error.
+Exit codes:
+
+* ``0`` — clean (no findings; with ``--fix``, nothing left after fixing)
+* ``1`` — findings remain
+* ``2`` — usage or internal error (bad path, unknown rule id)
+
+``--fix`` rewrites files in place using each rule's exact-span fixes and
+reports what is left; ``--diff`` previews the same rewrite as a unified
+diff without touching anything.  Results are cached per file content under
+``--cache-dir`` (default ``.crowdlint-cache/``) and cache misses can be
+analyzed in parallel with ``--jobs N``.
 """
 
 from __future__ import annotations
@@ -12,7 +22,10 @@ from collections import Counter
 from pathlib import Path
 from typing import List, Optional
 
-from .engine import LintEngine, all_rules, rule_registry
+from .cache import DEFAULT_CACHE_DIR, LintCache
+from .engine import LintEngine, all_rules, iter_python_files, module_name_for, rule_registry
+from .fix import fix_file, fix_source, unified_diff
+from .sarif import sarif_json
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -28,7 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -45,6 +58,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip these rule ids (repeatable, comma-separable)",
     )
     parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply safe automatic fixes in place, then report what remains",
+    )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="preview automatic fixes as a unified diff; changes nothing",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze cache misses on N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
         "--statistics",
         action="store_true",
         help="append a per-rule finding count summary",
@@ -53,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="list the available rules and exit",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --list-rules: emit the rule catalog as JSON",
     )
     return parser
 
@@ -63,13 +110,71 @@ def _split_ids(values: Optional[List[str]]) -> Optional[List[str]]:
     return [part.strip() for value in values for part in value.split(",") if part.strip()]
 
 
+def _list_rules(as_json: bool) -> int:
+    rules = sorted(all_rules(), key=lambda rule: rule.id)
+    if as_json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "id": rule.id,
+                        "name": rule.name,
+                        "description": rule.description,
+                        "fixable": rule.fixable,
+                    }
+                    for rule in rules
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for rule in rules:
+            marker = "*" if rule.fixable else " "
+            print(f"{rule.id}{marker} {rule.name:<26} {rule.description}")
+        print("\n(* = supports --fix)", file=sys.stderr)
+    return 0
+
+
+def _run_fix(engine: LintEngine, paths: List[Path], diff_only: bool) -> int:
+    """``--fix`` / ``--diff``: rewrite (or preview) then report the rest."""
+    remaining = []
+    fixed_files = 0
+    fixes_applied = 0
+    for file_path in iter_python_files(paths):
+        if diff_only:
+            try:
+                original = file_path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                continue
+            result = fix_source(
+                engine, original, str(file_path), module_name_for(file_path)
+            )
+            if result.changed:
+                sys.stdout.write(unified_diff(original, result.source, str(file_path)))
+        else:
+            result = fix_file(engine, file_path, module_name_for(file_path))
+            if result is None:
+                continue
+        if result.changed:
+            fixed_files += 1
+            fixes_applied += result.applied
+        remaining.extend(result.remaining)
+    verb = "would fix" if diff_only else "fixed"
+    print(
+        f"crowdweb-lint: {verb} {fixes_applied} finding(s) in {fixed_files} file(s); "
+        f"{len(remaining)} remaining",
+        file=sys.stderr,
+    )
+    for finding in sorted(remaining):
+        print(finding.format())
+    return 1 if remaining else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule in all_rules():
-            print(f"{rule.id}  {rule.name:<26} {rule.description}")
-        return 0
+        return _list_rules(args.json)
 
     missing = [path for path in args.paths if not Path(path).exists()]
     if missing:
@@ -91,9 +196,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     engine = LintEngine(select=_split_ids(args.select), ignore=_split_ids(args.ignore))
-    findings = engine.lint_paths(Path(path) for path in args.paths)
+    paths = [Path(path) for path in args.paths]
 
-    if args.format == "json":
+    if args.fix or args.diff:
+        return _run_fix(engine, paths, diff_only=args.diff and not args.fix)
+
+    cache = None if args.no_cache else LintCache(root=args.cache_dir)
+    findings = engine.lint_paths(paths, jobs=max(1, args.jobs), cache=cache)
+
+    if args.format == "sarif":
+        print(sarif_json(findings))
+    elif args.format == "json":
         payload = {
             "findings": [finding.as_dict() for finding in findings],
             "count": len(findings),

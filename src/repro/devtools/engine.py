@@ -24,17 +24,22 @@ The engine is stdlib-only on purpose (see package docstring).
 from __future__ import annotations
 
 import ast
+import concurrent.futures
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
 
 __all__ = [
+    "Edit",
     "Finding",
+    "Fix",
     "FileContext",
+    "LintCacheProtocol",
     "LintEngine",
+    "LintStats",
     "Rule",
     "all_rules",
     "get_rule",
@@ -48,15 +53,45 @@ __all__ = [
 _PRAGMA_RE = re.compile(r"#\s*crowdlint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)")
 
 
+@dataclass(frozen=True)
+class Edit:
+    """One exact-span source patch: replace ``source[start:end]`` with text."""
+
+    start: int
+    end: int
+    replacement: str
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A safe rewrite for one finding: non-overlapping edits plus a note."""
+
+    edits: Tuple[Edit, ...]
+    note: str = ""
+
+    @property
+    def start(self) -> int:
+        return min(edit.start for edit in self.edits)
+
+    @property
+    def end(self) -> int:
+        return max(edit.end for edit in self.edits)
+
+
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One lint finding, sortable into stable (path, line, col, rule) order."""
+    """One lint finding, sortable into stable (path, line, col, rule) order.
+
+    ``fix`` (when present) is the rule's safe rewrite, applied by
+    ``crowdweb-lint --fix``; it never participates in ordering or equality.
+    """
 
     path: str
     line: int
     col: int
     rule_id: str
     message: str
+    fix: Optional[Fix] = field(default=None, compare=False)
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
@@ -68,7 +103,38 @@ class Finding:
             "col": self.col,
             "rule": self.rule_id,
             "message": self.message,
+            "fixable": self.fix is not None,
         }
+
+    # ------------------------------------------------ cache serialization
+
+    def to_cache_dict(self) -> Dict[str, object]:
+        payload = self.as_dict()
+        del payload["fixable"]
+        if self.fix is not None:
+            payload["fix"] = {
+                "note": self.fix.note,
+                "edits": [[e.start, e.end, e.replacement] for e in self.fix.edits],
+            }
+        return payload
+
+    @classmethod
+    def from_cache_dict(cls, payload: Dict[str, object]) -> "Finding":
+        fix = None
+        raw_fix = payload.get("fix")
+        if raw_fix:
+            fix = Fix(
+                edits=tuple(Edit(int(s), int(e), str(r)) for s, e, r in raw_fix["edits"]),
+                note=str(raw_fix.get("note", "")),
+            )
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule_id=str(payload["rule"]),
+            message=str(payload["message"]),
+            fix=fix,
+        )
 
 
 class Rule:
@@ -82,6 +148,8 @@ class Rule:
     id: str = ""
     name: str = ""
     description: str = ""
+    #: Whether the rule can attach a safe rewrite to (some of) its findings.
+    fixable: bool = False
 
     def check_module(self, ctx: "FileContext") -> None:
         """Optional whole-module hook, called once per file before the walk."""
@@ -136,15 +204,58 @@ class FileContext:
         self.lines = source.splitlines()
         self.findings: List[Finding] = []
         self._line_disables, self._file_disables = _parse_pragmas(source)
+        self._flow = None
+        self._line_offsets: Optional[List[int]] = None
 
     @property
     def is_init(self) -> bool:
         return Path(self.path).name == "__init__.py"
 
-    def report(self, rule: Rule, node: ast.AST, message: str) -> None:
+    @property
+    def flow(self):
+        """Whole-module flow facts, built on first use (see ``flow.py``).
+
+        Purely syntactic rules never touch this, so they never pay for the
+        CFG construction.
+        """
+        if self._flow is None:
+            from .flow import ModuleFlow  # deferred: most files need no flow
+
+            self._flow = ModuleFlow(self.tree)
+        return self._flow
+
+    # ------------------------------------------------------ source spans
+
+    def _offsets(self) -> List[int]:
+        if self._line_offsets is None:
+            offsets = [0]
+            for line in self.source.splitlines(keepends=True):
+                offsets.append(offsets[-1] + len(line))
+            self._line_offsets = offsets
+        return self._line_offsets
+
+    def offset(self, line: int, col: int) -> int:
+        """Character offset of a (1-based line, 0-based col) position."""
+        return self._offsets()[line - 1] + col
+
+    def span(self, node: ast.AST) -> Tuple[int, int]:
+        """The exact ``[start, end)`` character span of a node."""
+        return (
+            self.offset(node.lineno, node.col_offset),
+            self.offset(node.end_lineno, node.end_col_offset),
+        )
+
+    def text(self, node: ast.AST) -> str:
+        """The exact source text of a node."""
+        start, end = self.span(node)
+        return self.source[start:end]
+
+    def report(
+        self, rule: Rule, node: ast.AST, message: str, fix: Optional[Fix] = None
+    ) -> None:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
-        self.findings.append(Finding(self.path, line, col, rule.id, message))
+        self.findings.append(Finding(self.path, line, col, rule.id, message, fix=fix))
 
     def suppressed(self, finding: Finding) -> bool:
         if _matches(self._file_disables, finding.rule_id):
@@ -214,6 +325,8 @@ class LintEngine:
             unwanted = {rule_id.upper() for rule_id in ignore}
             chosen = [rule for rule in chosen if rule.id not in unwanted]
         self.rules = chosen
+        #: Work accounting of the most recent ``lint_paths`` call.
+        self.last_stats = LintStats()
 
     # -- single file -------------------------------------------------------
 
@@ -250,11 +363,91 @@ class LintEngine:
 
     # -- trees -------------------------------------------------------------
 
-    def lint_paths(self, paths: Iterable[Path]) -> List[Finding]:
+    def lint_paths(
+        self,
+        paths: Iterable[Path],
+        jobs: int = 1,
+        cache: Optional["LintCacheProtocol"] = None,
+    ) -> List[Finding]:
+        """Lint every Python file under ``paths``.
+
+        ``jobs > 1`` analyzes cache misses on a ``concurrent.futures``
+        process pool (crowdlint stays isolated from ``repro.exec`` per the
+        layer DAG, so it drives the pool directly).  ``cache`` is any object
+        with the :class:`repro.devtools.cache.LintCache` interface; hits
+        skip parsing and analysis entirely.  Either way the result is the
+        same sorted finding list, and :attr:`last_stats` records how much
+        work was actually done.
+        """
         findings: List[Finding] = []
+        pending: List[Tuple[str, str, Optional[str]]] = []  # (path, source, module)
+        stats = LintStats()
+        rule_ids = [rule.id for rule in self.rules]
         for file_path in iter_python_files(paths):
-            findings.extend(self.lint_file(file_path))
+            stats.files += 1
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                findings.append(
+                    Finding(str(file_path), 1, 1, "CW100", f"unreadable file: {exc}")
+                )
+                stats.analyzed += 1
+                continue
+            module = module_name_for(file_path)
+            if cache is not None:
+                cached = cache.get(source, str(file_path), module, rule_ids)
+                if cached is not None:
+                    stats.cache_hits += 1
+                    findings.extend(cached)
+                    continue
+            pending.append((str(file_path), source, module))
+
+        stats.analyzed += len(pending)
+        if jobs > 1 and len(pending) > 1:
+            work = [(source, path, module, rule_ids) for path, source, module in pending]
+            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+                analyzed = list(pool.map(_lint_one, work, chunksize=4))
+        else:
+            analyzed = [
+                self.lint_source(source, path, module)
+                for path, source, module in pending
+            ]
+        for (path, source, module), file_findings in zip(pending, analyzed):
+            if cache is not None:
+                cache.put(source, path, module, rule_ids, file_findings)
+            findings.extend(file_findings)
+        self.last_stats = stats
         return sorted(findings)
+
+
+@dataclass
+class LintStats:
+    """How much work one ``lint_paths`` call actually did."""
+
+    files: int = 0
+    analyzed: int = 0
+    cache_hits: int = 0
+
+
+class LintCacheProtocol:
+    """Duck-typed interface ``lint_paths`` expects from a cache (see cache.py).
+
+    ``rule_ids`` is the engine's active rule selection; it must participate
+    in the entry key, otherwise a ``--select``/``--ignore`` run would replay
+    findings cached under a different rule set.
+    """
+
+    def get(self, source, path, module, rule_ids):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def put(self, source, path, module, rule_ids, findings):  # pragma: no cover
+        raise NotImplementedError
+
+
+def _lint_one(work: Tuple[str, str, Optional[str], List[str]]) -> List[Finding]:
+    """Process-pool worker: lint one in-memory source with the given rules."""
+    source, path, module, rule_ids = work
+    return LintEngine(select=rule_ids).lint_source(source, path, module)
 
 
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist", ".venv", "venv"}

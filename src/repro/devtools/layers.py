@@ -27,9 +27,39 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional
 
-__all__ = ["LAYER_MAP", "layer_of", "resolve_import"]
+__all__ = ["DEVTOOLS_MODULES", "LAYER_MAP", "layer_of", "resolve_import"]
 
 ROOT_PACKAGE = "repro"
+
+#: Every module of the devtools subsystem itself.  The registry exists so
+#: that docscheck (and the tests) can verify no module is added to the
+#: package without being declared here — the cache fingerprint, the docs
+#: catalog, and the layer isolation check all walk this list.
+DEVTOOLS_MODULES: FrozenSet[str] = frozenset(
+    {
+        "cache",
+        "cli",
+        "docscheck",
+        "engine",
+        "fix",
+        "flow",
+        "layers",
+        "lint",
+        "rules",
+        "rules.common",
+        "rules.concurrency",
+        "rules.coordinates",
+        "rules.datetimes",
+        "rules.determinism",
+        "rules.exceptions",
+        "rules.exports",
+        "rules.imports",
+        "rules.mutable_defaults",
+        "rules.observability",
+        "rules.units",
+        "sarif",
+    }
+)
 
 LAYER_MAP: Dict[str, FrozenSet[str]] = {
     # foundations

@@ -5,11 +5,14 @@ registry (not this module) is the source of truth for what runs.
 """
 
 from . import (  # noqa: F401  (imported for registration side effects)
+    concurrency,
     coordinates,
     datetimes,
+    determinism,
     exceptions,
     exports,
     imports,
     mutable_defaults,
+    observability,
     units,
 )

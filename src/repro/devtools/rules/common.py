@@ -46,7 +46,7 @@ def axis_of(name: Optional[str]) -> Optional[str]:
         elif part in _LON_WORDS:
             hits.add("lon")
     if len(hits) == 1:
-        return hits.pop()
+        return hits.pop()  # crowdlint: disable=CW204 -- single-element set, pop is deterministic
     return None
 
 

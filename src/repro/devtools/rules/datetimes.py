@@ -10,8 +10,9 @@ despite their names (and are deprecated since Python 3.12).  The fix is always
 from __future__ import annotations
 
 import ast
+from typing import Optional
 
-from ..engine import FileContext, Rule, register
+from ..engine import Edit, FileContext, Fix, Rule, register
 from .common import identifier_of
 
 #: method name → minimum positional args for the call to be tz-aware, or
@@ -29,6 +30,7 @@ class NaiveDatetimeRule(Rule):
         "datetime.now()/fromtimestamp() without a tz argument, or the "
         "always-naive utcnow()/utcfromtimestamp()."
     )
+    fixable = True
 
     def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
         func = node.func
@@ -45,6 +47,7 @@ class NaiveDatetimeRule(Rule):
                 f"datetime.{method}() returns a *naive* datetime; use "
                 "datetime.now(timezone.utc) / "
                 "datetime.fromtimestamp(ts, tz=timezone.utc)",
+                fix=self._utc_fix(ctx, node, method),
             )
             return
         tz_position = _TZ_ARG_POSITION.get(method)
@@ -59,4 +62,41 @@ class NaiveDatetimeRule(Rule):
                 node,
                 f"datetime.{method}() without a timezone is naive; pass "
                 "timezone.utc (or an explicit tzinfo)",
+                fix=self._utc_fix(ctx, node, method),
             )
+
+    @staticmethod
+    def _utc_fix(ctx: FileContext, node: ast.Call, method: str) -> Optional[Fix]:
+        """Rewrite to the tz-aware equivalent — only when ``timezone`` is in
+        scope at module level, so the fixed file still imports cleanly."""
+        if "timezone" not in ctx.flow.module_defs:
+            return None
+        text = ctx.text(node)
+        if not text.endswith(")"):
+            return None
+        _, end = ctx.span(node)
+        _, func_end = ctx.span(node.func)
+        edits = []
+        if method == "utcnow":
+            if node.args or node.keywords:
+                return None
+            edits.append(Edit(func_end - len("utcnow"), func_end, "now"))
+            edits.append(Edit(end - 1, end - 1, "timezone.utc"))
+        elif method == "utcfromtimestamp":
+            if len(node.args) != 1 or node.keywords:
+                return None
+            edits.append(
+                Edit(func_end - len("utcfromtimestamp"), func_end, "fromtimestamp")
+            )
+            edits.append(Edit(end - 1, end - 1, ", tz=timezone.utc"))
+        elif method == "now":
+            if node.args or node.keywords:
+                return None
+            edits.append(Edit(end - 1, end - 1, "timezone.utc"))
+        elif method == "fromtimestamp":
+            if len(node.args) != 1 or node.keywords:
+                return None
+            edits.append(Edit(end - 1, end - 1, ", tz=timezone.utc"))
+        else:
+            return None
+        return Fix(edits=tuple(edits), note="make the datetime timezone-aware (UTC)")

@@ -14,9 +14,10 @@ produces *partial* crowd maps that look complete.  Two rules:
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterable
 
-from ..engine import FileContext, Rule, register
+from ..engine import Edit, FileContext, Fix, Rule, register
 from .common import identifier_of
 
 _BROAD = {"Exception", "BaseException"}
@@ -47,14 +48,26 @@ class BareExceptRule(Rule):
     id = "CW106"
     name = "bare-except"
     description = "except: with no exception type traps SystemExit and hides bugs."
+    fixable = True
+
+    _HEAD_RE = re.compile(r"except\s*:")
 
     def visit_ExceptHandler(self, ctx: FileContext, node: ast.ExceptHandler) -> None:
         if node.type is None:
+            fix = None
+            match = self._HEAD_RE.match(ctx.text(node))
+            if match:
+                start, _ = ctx.span(node)
+                fix = Fix(
+                    edits=(Edit(start, start + match.end(), "except Exception:"),),
+                    note="narrow to Exception (SystemExit/KeyboardInterrupt pass)",
+                )
             ctx.report(
                 self,
                 node,
                 "bare 'except:' — catch a specific exception type "
                 "(or at least Exception)",
+                fix=fix,
             )
 
 

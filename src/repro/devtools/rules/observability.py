@@ -1,0 +1,296 @@
+"""CW4xx — the observability-conformance pack.
+
+``repro.obs`` (PR 3) promises two things: metric names follow the
+``repro_<layer>_<name>_<unit>`` grammar so dashboards can be written once,
+and instrumentation is zero-cost and output-neutral when disabled because
+every call goes through the :class:`Observer`'s single ``enabled`` check.
+Both promises were conventions; these rules make them mechanical:
+
+* **CW401** — metric-name grammar: a literal metric name must be
+  ``repro_<layer>_<name>_<unit>`` with a known unit segment.  Unit synonyms
+  (``_seconds``, ``_count``, ...) get an autofix to the canonical spelling.
+* **CW402** — the ``<layer>`` segment must be a layer declared in
+  ``devtools/layers.py``, and must match the layer of the emitting file
+  (``repro.web.server`` emits ``repro_web_*``, nothing else).
+* **CW403** — a span that is created but never entered (``observer.span(...)``
+  as a bare statement, or assigned and never used in a ``with``): the
+  enter/exit pair never runs, so the trace silently loses the region.
+* **CW404** — instrumentation that reaches around the Observer
+  (``observer.registry.inc(...)``, ``observer.tracer.span(...)``): it
+  bypasses the ``enabled`` guard, which is exactly the zero-cost-when-
+  disabled contract.
+
+Like CW108 these rules police the library, not its consumers: files outside
+the ``repro`` package (tests, scripts) are exempt, and the ``obs`` layer
+itself is exempt from CW404 (it *implements* the guard).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Tuple
+
+from ..engine import Edit, FileContext, Fix, Rule, register
+from ..layers import LAYER_MAP, layer_of
+
+#: Registry/observer mutators that take a metric name as their first argument.
+_METRIC_CALLS = frozenset({
+    "counter", "gauge", "histogram", "inc", "labels_of", "observe", "set_gauge",
+})
+
+#: Canonical unit segments (the grammar's trailing ``<unit>``).
+CANONICAL_UNITS = frozenset({
+    "bytes", "depth", "ms", "ns", "ratio", "s", "size", "total", "us",
+})
+
+#: Unit-synonym normalization used by the CW401 autofix.
+UNIT_SYNONYMS = {
+    "count": "total", "counts": "total", "num": "total",
+    "microseconds": "us", "millis": "ms", "milliseconds": "ms", "msec": "ms",
+    "nanoseconds": "ns", "pct": "ratio", "percent": "ratio",
+    "percentage": "ratio", "sec": "s", "seconds": "s", "secs": "s",
+}
+
+_SEGMENT_RE = re.compile(r"^[a-z][a-z0-9]*$")
+
+
+def _metric_name_argument(node: ast.Call) -> Optional[ast.Constant]:
+    """The literal metric-name argument of an instrumentation call, if any."""
+    if not isinstance(node.func, ast.Attribute) or node.func.attr not in _METRIC_CALLS:
+        return None
+    candidate: Optional[ast.expr] = node.args[0] if node.args else None
+    if candidate is None:
+        for keyword in node.keywords:
+            if keyword.arg == "name":
+                candidate = keyword.value
+                break
+    if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+        return candidate
+    return None
+
+
+def _in_repro_library(ctx: FileContext) -> bool:
+    return bool(ctx.module) and ctx.module.split(".")[0] == "repro"
+
+
+def _normalize_name(name: str) -> str:
+    """Best-effort canonicalization of a metric name (the CW401 autofix)."""
+    normalized = name.lower().replace("-", "_").replace(".", "_")
+    parts = [part for part in normalized.split("_") if part]
+    if parts and parts[0] != "repro" and parts[0] in LAYER_MAP:
+        parts.insert(0, "repro")
+    if parts:
+        parts[-1] = UNIT_SYNONYMS.get(parts[-1], parts[-1])
+    return "_".join(parts)
+
+
+def _literal_replacement_fix(
+    ctx: FileContext, literal: ast.Constant, new_value: str, note: str
+) -> Fix:
+    start, end = ctx.span(literal)
+    original = ctx.text(literal)
+    quote = original[0] if original and original[0] in "'\"" else '"'
+    return Fix(edits=(Edit(start, end, f"{quote}{new_value}{quote}"),), note=note)
+
+
+def _split_metric(name: str) -> Optional[Tuple[str, List[str], str]]:
+    """``repro_<layer>_<name...>_<unit>`` → (layer, name parts, unit)."""
+    parts = name.split("_")
+    if len(parts) < 4 or parts[0] != "repro":
+        return None
+    return parts[1], parts[2:-1], parts[-1]
+
+
+@register
+class MetricNameGrammarRule(Rule):
+    id = "CW401"
+    name = "metric-name-grammar"
+    description = (
+        "A literal metric name does not follow repro_<layer>_<name>_<unit> "
+        "with a canonical unit segment."
+    )
+    fixable = True
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        if not _in_repro_library(ctx):
+            return
+        literal = _metric_name_argument(node)
+        if literal is None:
+            return
+        name = literal.value
+        problem = self._grammar_problem(name)
+        if problem is None:
+            return
+        normalized = _normalize_name(name)
+        fix = None
+        if normalized != name and self._grammar_problem(normalized) is None:
+            fix = _literal_replacement_fix(
+                ctx, literal, normalized, "normalize the metric name"
+            )
+        ctx.report(
+            self,
+            node,
+            f"metric name {name!r} {problem}; the convention is "
+            "repro_<layer>_<name>_<unit> (units: "
+            f"{', '.join(sorted(CANONICAL_UNITS))})",
+            fix=fix,
+        )
+
+    @staticmethod
+    def _grammar_problem(name: str) -> Optional[str]:
+        split = _split_metric(name)
+        if split is None:
+            return (
+                "lacks the repro_<layer>_<name>_<unit> shape "
+                "(needs at least four _-separated segments starting with 'repro')"
+            )
+        layer, middle, unit = split
+        segments = [layer, *middle, unit]
+        if any(not _SEGMENT_RE.match(segment) for segment in segments):
+            return "has non-lowercase or empty segments"
+        if unit not in CANONICAL_UNITS:
+            return f"ends in unknown unit {unit!r}"
+        return None
+
+
+@register
+class MetricLayerMismatchRule(Rule):
+    id = "CW402"
+    name = "metric-layer-mismatch"
+    description = (
+        "The <layer> segment of a metric name is not a declared layer, or "
+        "does not match the layer of the emitting file."
+    )
+    fixable = True
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        if not _in_repro_library(ctx):
+            return
+        literal = _metric_name_argument(node)
+        if literal is None:
+            return
+        split = _split_metric(literal.value)
+        if split is None:
+            return  # CW401's finding; don't double-report
+        name_layer, middle, unit = split
+        file_layer = layer_of(ctx.module)
+        if name_layer not in LAYER_MAP:
+            fix = None
+            if file_layer in LAYER_MAP:
+                fixed = "_".join(["repro", file_layer, *middle, unit])
+                fix = _literal_replacement_fix(
+                    ctx, literal, fixed, "use the emitting file's layer"
+                )
+            ctx.report(
+                self,
+                node,
+                f"metric layer segment {name_layer!r} is not a layer declared "
+                "in repro/devtools/layers.py",
+                fix=fix,
+            )
+        elif file_layer in LAYER_MAP and name_layer != file_layer:
+            fixed = "_".join(["repro", file_layer, *middle, unit])
+            ctx.report(
+                self,
+                node,
+                f"metric named for layer {name_layer!r} but emitted from layer "
+                f"{file_layer!r}; metrics carry their emitter's layer",
+                fix=_literal_replacement_fix(
+                    ctx, literal, fixed, "use the emitting file's layer"
+                ),
+            )
+
+
+@register
+class UnbalancedSpanRule(Rule):
+    id = "CW403"
+    name = "unbalanced-span"
+    description = (
+        "A span is created but never entered (bare statement, or assigned "
+        "and never used in a with) — enter/exit never runs."
+    )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        if not _in_repro_library(ctx):
+            return
+        func = node.func
+        is_span = (isinstance(func, ast.Attribute) and func.attr == "span") or (
+            isinstance(func, ast.Name) and func.id == "span"
+        )
+        if not is_span:
+            return
+        parent = ctx.flow.parents.get(node)
+        if isinstance(parent, ast.Expr):
+            ctx.report(
+                self,
+                node,
+                "span created and immediately discarded — its enter/exit "
+                "never runs; use `with ...span(...):`",
+            )
+            return
+        if isinstance(parent, ast.Assign):
+            if len(parent.targets) == 1 and isinstance(parent.targets[0], ast.Name):
+                if not self._ever_entered(ctx, parent, parent.targets[0].id):
+                    ctx.report(
+                        self,
+                        node,
+                        f"span assigned to {parent.targets[0].id!r} but never "
+                        "entered in a `with` block",
+                    )
+
+    @staticmethod
+    def _ever_entered(ctx: FileContext, assign: ast.stmt, name: str) -> bool:
+        """Whether any use of the assigned span enters it."""
+        region = ctx.flow.enclosing_function(assign) or ctx.tree
+        for node in ast.walk(region):
+            if not (isinstance(node, ast.Name) and node.id == name
+                    and isinstance(node.ctx, ast.Load)):
+                continue
+            parent = ctx.flow.parents.get(node)
+            if isinstance(parent, ast.withitem):
+                return True
+            if (
+                isinstance(parent, ast.Attribute)
+                and parent.attr in {"__enter__", "__exit__"}
+            ):
+                return True
+            if isinstance(parent, ast.Call) or isinstance(parent, ast.keyword):
+                return True  # handed onward; assume the callee enters it
+            if isinstance(parent, ast.Return):
+                return True  # factory pattern: the caller enters it
+        return False
+
+
+@register
+class UnguardedInstrumentationRule(Rule):
+    id = "CW404"
+    name = "unguarded-instrumentation"
+    description = (
+        "Instrumentation reaches around the Observer (observer.registry.inc, "
+        "observer.tracer.span), bypassing the enabled guard."
+    )
+
+    _BYPASSED = frozenset({"inc", "observe", "reset", "set_gauge", "span"})
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        if not _in_repro_library(ctx):
+            return
+        if layer_of(ctx.module) in {"obs", "devtools"}:
+            return  # the obs layer implements the guard it would trip here
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._BYPASSED
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr in {"registry", "tracer"}
+        ):
+            return
+        owner = func.value.attr
+        ctx.report(
+            self,
+            node,
+            f".{owner}.{func.attr}(...) bypasses the Observer's enabled "
+            f"guard; call .{func.attr}(...) on the observer itself so the "
+            "disabled path stays zero-cost",
+        )

@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 output for crowdlint.
+
+SARIF (Static Analysis Results Interchange Format) is the payload GitHub
+code scanning ingests; emitting it lets the CI lint job publish findings as
+review annotations instead of log lines.  The writer is deliberately
+minimal: one run, one driver, the rule catalog in ``tool.driver.rules``,
+and one ``result`` per finding with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List
+
+from .engine import Finding, all_rules
+
+__all__ = ["sarif_payload", "sarif_json"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Tool identity reported in the SARIF driver block.
+TOOL_NAME = "crowdweb-lint"
+TOOL_URI = "https://github.com/crowdweb/crowdweb"
+
+
+def sarif_payload(findings: Iterable[Finding]) -> dict:
+    """The findings as a SARIF 2.1.0 ``log`` object (a plain dict)."""
+    findings = list(findings)
+    rules = sorted(all_rules(), key=lambda rule: rule.id)
+    rule_index = {rule.id: index for index, rule in enumerate(rules)}
+    results: List[dict] = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule_id,
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        if finding.fix is not None:
+            result["properties"] = {"fixable": True}
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.description},
+                                "properties": {"fixable": rule.fixable},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(findings: Iterable[Finding]) -> str:
+    return json.dumps(sarif_payload(findings), indent=2, sort_keys=True)

@@ -95,7 +95,9 @@ class MatchIndex:
         # compared to total occurrences, so resolving the tolerance window
         # and ancestor chain once per distinct item is nearly free.
         matched_by: Dict[TimedItem, Tuple[TimedItem, ...]] = {}
-        for item in distinct:
+        # matched_by is consumed by key lookup only, and each item's candidate
+        # tuple is built deterministically, so hash order here is unobservable.
+        for item in distinct:  # crowdlint: disable=CW203
             seen: Set[TimedItem] = set()
             candidates: List[TimedItem] = []
             for label in matcher._ancestors_of(item.label):

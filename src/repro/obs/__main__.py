@@ -25,7 +25,7 @@ def selftest() -> int:
         with o.span("selftest.root", stage="outer") as root:
             with o.span("selftest.child"):
                 o.inc("repro_obs_selftest_total", 2)
-                o.set_gauge("repro_obs_selftest_gauge", 1.5)
+                o.set_gauge("repro_obs_selftest_level_ratio", 1.5)
                 o.observe("repro_obs_selftest_latency_s", 0.003, label="child")
             root.set("checked", True)
         with tempfile.TemporaryDirectory() as tmp:
@@ -43,7 +43,7 @@ def selftest() -> int:
 
     metrics = state["metrics"]
     assert metrics["counters"]["repro_obs_selftest_total"][""] == 2
-    assert metrics["gauges"]["repro_obs_selftest_gauge"][""] == 1.5
+    assert metrics["gauges"]["repro_obs_selftest_level_ratio"][""] == 1.5
     histogram = metrics["histograms"]["repro_obs_selftest_latency_s"]["child"]
     assert histogram["count"] == 1 and sum(histogram["counts"]) == 1
 

@@ -44,8 +44,10 @@ def save_profiles(
         raise ValueError("all profiles must share one binning and one level")
     payload = {
         "schema": SCHEMA_VERSION,
-        "bin_width_hours": next(iter(binnings)),
-        "level": next(iter(levels)).value,
+        # Both sets were just checked to hold exactly one element, so
+        # next(iter(...)) is deterministic here.
+        "bin_width_hours": next(iter(binnings)),  # crowdlint: disable=CW204
+        "level": next(iter(levels)).value,  # crowdlint: disable=CW204
         "profiles": {
             user_id: {
                 "n_days": profile.n_days,

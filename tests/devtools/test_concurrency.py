@@ -1,0 +1,256 @@
+"""CW3xx — the concurrency pack (the exec.ordered_map contract)."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestUnpicklableTask:
+    def test_flags_lambda_task(self, lint):
+        findings = lint(
+            """
+            from repro.exec import ordered_map
+
+            def run(items):
+                return ordered_map(lambda x: x + 1, items)
+            """,
+            rule="CW301",
+        )
+        assert rule_ids(findings) == ["CW301"]
+
+    def test_flags_locally_defined_task(self, lint):
+        findings = lint(
+            """
+            from repro.exec import ordered_map
+
+            def run(items):
+                def work(x):
+                    return x + 1
+                return ordered_map(work, items)
+            """,
+            rule="CW301",
+        )
+        assert rule_ids(findings) == ["CW301"]
+
+    def test_flags_lambda_behind_assignment(self, lint):
+        findings = lint(
+            """
+            from repro.exec import ordered_map
+
+            def run(items):
+                task = lambda x: x + 1
+                return ordered_map(task, items)
+            """,
+            rule="CW301",
+        )
+        assert rule_ids(findings) == ["CW301"]
+
+    def test_module_level_function_is_clean(self, lint):
+        findings = lint(
+            """
+            from repro.exec import ordered_map
+
+            def work(x):
+                return x + 1
+
+            def run(items):
+                return ordered_map(work, items)
+            """,
+            rule="CW301",
+        )
+        assert findings == []
+
+    def test_partial_of_module_level_function_is_clean(self, lint):
+        findings = lint(
+            """
+            from functools import partial
+
+            from repro.exec import ordered_map
+
+            def work(cfg, x):
+                return x + cfg.offset
+
+            def run(cfg, items):
+                return ordered_map(partial(work, cfg), items)
+            """,
+            rule="CW301",
+        )
+        assert findings == []
+
+    def test_unresolvable_task_is_not_flagged(self, lint):
+        findings = lint(
+            """
+            from repro.exec import ordered_map
+
+            def run(tasks, items):
+                return ordered_map(tasks.best, items)
+            """,
+            rule="CW301",
+        )
+        assert findings == []
+
+
+class TestForkUnsafeModuleInit:
+    def test_flags_module_level_lock(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            _LOCK = threading.Lock()
+            """,
+            rule="CW302",
+            module="repro.crowd.sync",
+        )
+        assert rule_ids(findings) == ["CW302"]
+
+    def test_flags_module_level_pool_and_open(self, lint):
+        findings = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            POOL = ProcessPoolExecutor()
+            LOG = open("log.txt", "a")
+            """,
+            rule="CW302",
+            module="repro.crowd.sync",
+        )
+        assert rule_ids(findings) == ["CW302", "CW302"]
+
+    def test_flags_import_time_global_seeding(self, lint):
+        findings = lint(
+            """
+            import random
+
+            random.seed(0)
+            """,
+            rule="CW302",
+            module="repro.mining.setup",
+        )
+        assert rule_ids(findings) == ["CW302"]
+
+    def test_lazy_creation_inside_function_is_clean(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            def lock():
+                return threading.Lock()
+            """,
+            rule="CW302",
+            module="repro.crowd.sync",
+        )
+        assert findings == []
+
+    def test_main_guard_is_exempt(self, lint):
+        findings = lint(
+            """
+            import threading
+
+            if __name__ == "__main__":
+                lock = threading.Lock()
+            """,
+            rule="CW302",
+            module="repro.crowd.sync",
+        )
+        assert findings == []
+
+    def test_non_repro_module_is_exempt(self, lint):
+        findings = lint(
+            "import threading\n_LOCK = threading.Lock()\n",
+            rule="CW302",
+            module="tests.conftest",
+        )
+        assert findings == []
+
+
+class TestWorkerGlobalMutation:
+    def test_flags_task_rebinding_a_global(self, lint):
+        findings = lint(
+            """
+            from repro.exec import ordered_map
+
+            TOTAL = 0
+
+            def work(x):
+                global TOTAL
+                TOTAL += x
+                return x
+
+            def run(items):
+                return ordered_map(work, items)
+            """,
+            rule="CW303",
+        )
+        assert rule_ids(findings) == ["CW303"]
+
+    def test_flags_task_mutating_module_dict(self, lint):
+        findings = lint(
+            """
+            from repro.exec import ordered_map
+
+            CACHE = {}
+
+            def work(x):
+                CACHE[x] = x * 2
+                return CACHE[x]
+
+            def run(items):
+                return ordered_map(work, items)
+            """,
+            rule="CW303",
+        )
+        assert rule_ids(findings) == ["CW303"]
+
+    def test_flags_mutating_method_on_module_list(self, lint):
+        findings = lint(
+            """
+            from repro.exec import ordered_map
+
+            SEEN = []
+
+            def work(x):
+                SEEN.append(x)
+                return x
+
+            def run(items):
+                return ordered_map(work, items)
+            """,
+            rule="CW303",
+        )
+        assert rule_ids(findings) == ["CW303"]
+
+    def test_pure_task_is_clean(self, lint):
+        findings = lint(
+            """
+            from repro.exec import ordered_map
+
+            SCALE = 3
+
+            def work(x):
+                return x * SCALE
+
+            def run(items):
+                return ordered_map(work, items)
+            """,
+            rule="CW303",
+        )
+        assert findings == []
+
+    def test_local_shadow_of_global_name_is_clean(self, lint):
+        findings = lint(
+            """
+            from repro.exec import ordered_map
+
+            CACHE = {}
+
+            def work(x):
+                CACHE = {}
+                CACHE[x] = x
+                return CACHE[x]
+
+            def run(items):
+                return ordered_map(work, items)
+            """,
+            rule="CW303",
+        )
+        assert findings == []

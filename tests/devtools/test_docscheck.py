@@ -1,10 +1,21 @@
-"""The docs↔layer-map sync gate (``repro.devtools.docscheck``)."""
+"""The docs↔code sync gates (``repro.devtools.docscheck``)."""
 
 from __future__ import annotations
 
 from pathlib import Path
 
-from repro.devtools.docscheck import DOC_FILES, check_docs, main
+from repro.devtools.docscheck import (
+    CATALOG_END,
+    CATALOG_START,
+    DOC_FILES,
+    check_catalog,
+    check_docs,
+    check_module_registry,
+    generate_catalog,
+    main,
+    write_catalog,
+)
+from repro.devtools.engine import all_rules
 from repro.devtools.layers import LAYER_MAP
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -25,7 +36,15 @@ class TestRealRepo:
     def test_main_exits_zero_here(self, capsys):
         assert main(["--root", str(REPO_ROOT)]) == 0
         out = capsys.readouterr().out
-        assert f"all {len(LAYER_MAP)} layers" in out
+        assert f"{len(LAYER_MAP)} layers covered" in out
+
+    def test_rule_catalog_is_current(self):
+        """docs/devtools.md's generated table matches the live registry."""
+        assert check_catalog(REPO_ROOT) == []
+
+    def test_module_registry_is_complete(self):
+        """Every devtools module on disk is declared in DEVTOOLS_MODULES."""
+        assert check_module_registry(REPO_ROOT) == []
 
 
 class TestFailurePaths:
@@ -53,3 +72,48 @@ class TestFailurePaths:
         assert main(["--root", str(tmp_path)]) == 1
         out = capsys.readouterr().out
         assert "problem(s) found" in out
+
+
+class TestRuleCatalog:
+    def _devtools_doc(self, tmp_path: Path, body: str) -> Path:
+        (tmp_path / "docs").mkdir(exist_ok=True)
+        (tmp_path / "docs" / "devtools.md").write_text(body, encoding="utf-8")
+        return tmp_path
+
+    def test_generated_catalog_covers_every_rule(self):
+        catalog = generate_catalog()
+        for rule in all_rules():
+            assert f"| {rule.id} |" in catalog
+            assert f"`{rule.name}`" in catalog
+
+    def test_stale_catalog_is_flagged(self, tmp_path):
+        root = self._devtools_doc(
+            tmp_path, f"{CATALOG_START}\n| old table |\n{CATALOG_END}\n"
+        )
+        problems = check_catalog(root)
+        assert len(problems) == 1 and "stale" in problems[0]
+
+    def test_missing_markers_are_flagged(self, tmp_path):
+        root = self._devtools_doc(tmp_path, "# no markers here\n")
+        problems = check_catalog(root)
+        assert len(problems) == 1 and "markers" in problems[0]
+
+    def test_write_catalog_round_trips_to_current(self, tmp_path):
+        root = self._devtools_doc(
+            tmp_path, f"intro\n\n{CATALOG_START}\nstale\n{CATALOG_END}\n\noutro\n"
+        )
+        assert write_catalog(root) is True
+        assert check_catalog(root) == []
+        assert write_catalog(root) is False  # already current
+        text = (root / "docs" / "devtools.md").read_text(encoding="utf-8")
+        assert text.startswith("intro") and text.rstrip().endswith("outro")
+
+
+class TestModuleRegistry:
+    def test_undeclared_module_is_flagged(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "devtools"
+        package.mkdir(parents=True)
+        (package / "__init__.py").write_text("")
+        (package / "rogue.py").write_text("")
+        problems = check_module_registry(tmp_path)
+        assert any("'rogue'" in problem for problem in problems)

@@ -15,17 +15,18 @@ from repro.devtools.cli import main
 from repro.devtools.engine import module_name_for
 
 
-def test_registry_has_the_eight_domain_rules():
+def test_registry_has_every_rule_pack():
     ids = sorted(rule_registry())
     assert ids == [
-        "CW101",
-        "CW102",
-        "CW103",
-        "CW104",
-        "CW105",
-        "CW106",
-        "CW107",
-        "CW108",
+        # CW1xx: syntactic domain invariants
+        "CW101", "CW102", "CW103", "CW104",
+        "CW105", "CW106", "CW107", "CW108",
+        # CW2xx: determinism
+        "CW201", "CW202", "CW203", "CW204",
+        # CW3xx: concurrency (the exec.ordered_map contract)
+        "CW301", "CW302", "CW303",
+        # CW4xx: observability conformance
+        "CW401", "CW402", "CW403", "CW404",
     ]
     for rule_cls in all_rules():
         assert rule_cls.name and rule_cls.description

@@ -1,0 +1,241 @@
+"""The autofix engine: golden rewrites, idempotency, safety."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.devtools.engine import Edit, Finding, Fix, LintEngine
+from repro.devtools.fix import apply_fixes, fix_source, unified_diff
+
+
+def fix(source: str, rule=None, module="repro.web.demo", path="src/repro/web/demo.py"):
+    engine = LintEngine(select=[rule] if rule else None)
+    return fix_source(engine, textwrap.dedent(source), path, module)
+
+
+#: (rule, before, after) — one golden pair per fixable rule.
+GOLDENS = [
+    (
+        "CW201",
+        """
+        import random
+
+        rng = random.Random()
+        """,
+        """
+        import random
+
+        rng = random.Random(0)
+        """,
+    ),
+    (
+        "CW201",
+        """
+        import numpy as np
+
+        rng = np.random.default_rng()
+        """,
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        """,
+    ),
+    (
+        "CW203",
+        """
+        def labels(items):
+            found = {i.label for i in items}
+            return list(found)
+        """,
+        """
+        def labels(items):
+            found = {i.label for i in items}
+            return list(sorted(found))
+        """,
+    ),
+    (
+        "CW103",
+        """
+        from datetime import datetime, timezone
+
+        def stamp():
+            return datetime.utcnow()
+        """,
+        """
+        from datetime import datetime, timezone
+
+        def stamp():
+            return datetime.now(timezone.utc)
+        """,
+    ),
+    (
+        "CW103",
+        """
+        from datetime import datetime, timezone
+
+        def when(ts):
+            return datetime.fromtimestamp(ts)
+        """,
+        """
+        from datetime import datetime, timezone
+
+        def when(ts):
+            return datetime.fromtimestamp(ts, tz=timezone.utc)
+        """,
+    ),
+    (
+        "CW106",
+        """
+        def safe(fn):
+            try:
+                return fn()
+            except:
+                return None
+        """,
+        """
+        def safe(fn):
+            try:
+                return fn()
+            except Exception:
+                return None
+        """,
+    ),
+    (
+        "CW401",
+        """
+        def f(obs):
+            obs.inc("repro_web_hits_count", 1)
+        """,
+        """
+        def f(obs):
+            obs.inc("repro_web_hits_total", 1)
+        """,
+    ),
+    (
+        "CW402",
+        """
+        def f(obs):
+            obs.inc("repro_mining_hits_total", 1)
+        """,
+        """
+        def f(obs):
+            obs.inc("repro_web_hits_total", 1)
+        """,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rule,before,after",
+    GOLDENS,
+    ids=[f"{rule}-{index}" for index, (rule, _, _) in enumerate(GOLDENS)],
+)
+def test_golden_rewrite(rule, before, after):
+    result = fix(before, rule=rule)
+    assert result.source == textwrap.dedent(after)
+    assert result.changed
+
+
+@pytest.mark.parametrize(
+    "rule,before,after",
+    GOLDENS,
+    ids=[f"{rule}-{index}" for index, (rule, _, _) in enumerate(GOLDENS)],
+)
+def test_fix_is_idempotent(rule, before, after):
+    once = fix(before, rule=rule)
+    twice = fix(once.source, rule=rule)
+    assert twice.source == once.source
+    assert twice.applied == 0
+
+
+def test_clean_source_round_trips_byte_identically():
+    source = '"""Module."""\n\n\ndef f(x):\n    return x + 1\n'
+    result = fix(source)
+    assert result.source == source
+    assert not result.changed
+
+
+def test_all_fixable_rules_fix_in_one_run():
+    result = fix(
+        """
+        from datetime import datetime, timezone
+        import random
+
+        def stamp(obs):
+            obs.inc("repro_web_stamps_count", 1)
+            try:
+                rng = random.Random()
+                return datetime.utcnow(), rng.random()
+            except:
+                return None
+        """
+    )
+    assert result.applied == 4
+    # The CW103 fix makes the timestamp tz-aware but it is still wall-clock
+    # data in a return path — the unfixable CW202 finding correctly survives.
+    assert [f.rule_id for f in result.remaining] == ["CW202"]
+
+
+def test_cw103_fix_requires_timezone_import():
+    result = fix(
+        """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.utcnow()
+        """,
+        rule="CW103",
+    )
+    # No `timezone` in scope: the finding stays, unfixed, instead of
+    # producing a rewrite that fails at import.
+    assert not result.changed
+    assert [f.rule_id for f in result.remaining] == ["CW103"]
+
+
+def test_overlapping_fixes_are_not_combined_in_one_pass():
+    source = "abcdef"
+    findings = [
+        Finding("x.py", 1, 1, "T1", "a", fix=Fix(edits=(Edit(0, 4, "AAAA"),))),
+        Finding("x.py", 1, 1, "T2", "b", fix=Fix(edits=(Edit(2, 6, "BBBB"),))),
+    ]
+    patched, applied = apply_fixes(source, findings)
+    assert applied == 1
+    assert patched == "AAAAef"
+
+
+def test_out_of_range_edits_are_dropped():
+    findings = [
+        Finding("x.py", 1, 1, "T1", "a", fix=Fix(edits=(Edit(0, 99, "Z"),))),
+    ]
+    patched, applied = apply_fixes("short", findings)
+    assert applied == 0
+    assert patched == "short"
+
+
+def test_broken_rewrite_never_escapes():
+    class Saboteur:
+        """Mimics the engine but attaches a syntax-breaking fix."""
+
+        def lint_source(self, source, path, module):
+            if "(" not in source:
+                return []
+            return [
+                Finding(
+                    path, 1, 1, "T1", "bad",
+                    fix=Fix(edits=(Edit(source.index("("), source.index("(") + 1, "((",),)),
+                )
+            ]
+
+    result = fix_source(Saboteur(), "x = f(1)\n", "x.py", "")
+    assert result.source == "x = f(1)\n"
+    assert result.applied == 0
+
+
+def test_unified_diff_renders_and_is_empty_when_clean():
+    assert unified_diff("same\n", "same\n", "x.py") == ""
+    diff = unified_diff("a\n", "b\n", "x.py")
+    assert "--- a/x.py" in diff and "+++ b/x.py" in diff
+    assert "-a" in diff and "+b" in diff

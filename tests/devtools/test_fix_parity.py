@@ -1,0 +1,75 @@
+"""Autofixed source must be *behaviourally* identical, not just syntactic.
+
+The strongest claim the autofix engine makes is that its rewrites preserve
+pipeline semantics.  This test earns it end to end: seed a CW203
+determinism bug into a copy of the real tree (an ordered output rebuilt
+straight from set iteration), let ``--fix`` repair it, then run the full
+experiment pipeline from the pristine tree and from the autofixed tree in
+separate interpreters and require **byte-identical** ``results.json``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.devtools.engine import LintEngine, module_name_for
+from repro.devtools.fix import fix_file
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: The seeding site: PatternProfile.labels() canonicalizes set iteration
+#: with sorted(); dropping it to list() is exactly the bug CW203 exists for.
+SEED_FILE = Path("repro") / "patterns" / "model.py"
+PRISTINE = "return sorted({item.label for p in self.patterns for item in p.items})"
+SEEDED = "return list({item.label for p in self.patterns for item in p.items})"
+
+RUN_PIPELINE = """\
+import json, sys
+from pathlib import Path
+from repro.experiments import run_all
+out = run_all(Path(sys.argv[1]), scale="small", include_prediction=False)
+print((out.output_dir / "results.json").resolve())
+"""
+
+
+def run_pipeline_with(tree: Path, out_dir: Path) -> bytes:
+    result = subprocess.run(
+        [sys.executable, "-c", RUN_PIPELINE, str(out_dir)],
+        env={"PYTHONPATH": str(tree), "PYTHONHASHSEED": "random", "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return (out_dir / "results.json").read_bytes()
+
+
+def test_autofixed_tree_produces_byte_identical_pipeline_output(tmp_path):
+    # 1. Copy the real tree and seed the determinism bug.
+    seeded_src = tmp_path / "src"
+    shutil.copytree(
+        REPO_SRC, seeded_src, ignore=shutil.ignore_patterns("__pycache__")
+    )
+    target = seeded_src / SEED_FILE
+    source = target.read_text(encoding="utf-8")
+    assert PRISTINE in source, "seeding site moved; update this test"
+    target.write_text(source.replace(PRISTINE, SEEDED), encoding="utf-8")
+
+    # 2. The linter must catch the seeded bug...
+    engine = LintEngine(select=["CW203"])
+    findings = engine.lint_file(target)
+    assert [f.rule_id for f in findings] == ["CW203"]
+
+    # 3. ...and --fix must repair it (sorted() wrapped back in).
+    result = fix_file(engine, target, module_name_for(target) or "repro.patterns.model")
+    assert result is not None and result.changed
+    assert "sorted({item.label" in target.read_text(encoding="utf-8")
+    assert engine.lint_file(target) == []
+
+    # 4. Pristine and autofixed trees agree byte for byte at the pinned seed.
+    baseline = run_pipeline_with(REPO_SRC, tmp_path / "out_pristine")
+    fixed = run_pipeline_with(seeded_src, tmp_path / "out_fixed")
+    assert baseline == fixed

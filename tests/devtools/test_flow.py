@@ -1,0 +1,237 @@
+"""The dataflow core: CFG construction, reaching definitions, resolution."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.devtools.flow import ModuleFlow
+
+
+def flow_of(source: str) -> ModuleFlow:
+    return ModuleFlow(ast.parse(textwrap.dedent(source)))
+
+
+def func_named(flow: ModuleFlow, name: str) -> ast.FunctionDef:
+    for node in ast.walk(flow.tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    raise AssertionError(f"no function {name!r}")
+
+
+def name_loads(flow: ModuleFlow, name: str):
+    return [
+        node
+        for node in ast.walk(flow.tree)
+        if isinstance(node, ast.Name) and node.id == name
+        and isinstance(node.ctx, ast.Load)
+    ]
+
+
+class TestReachingDefinitions:
+    def test_straight_line_single_definition(self):
+        flow = flow_of(
+            """
+            def f():
+                x = {1, 2}
+                return x
+            """
+        )
+        (use,) = name_loads(flow, "x")
+        defs = flow.definitions_for(use)
+        assert len(defs) == 1
+        assert next(iter(defs)).kind == "assign"
+
+    def test_rebinding_kills_the_earlier_definition(self):
+        flow = flow_of(
+            """
+            def f():
+                x = {1}
+                x = [1]
+                return x
+            """
+        )
+        (use,) = name_loads(flow, "x")
+        defs = flow.definitions_for(use)
+        assert len(defs) == 1
+        assert isinstance(next(iter(defs)).value, ast.List)
+
+    def test_branches_merge_both_definitions(self):
+        flow = flow_of(
+            """
+            def f(flag):
+                if flag:
+                    x = {1}
+                else:
+                    x = [1]
+                return x
+            """
+        )
+        (use,) = name_loads(flow, "x")
+        values = {type(d.value).__name__ for d in flow.definitions_for(use)}
+        assert values == {"Set", "List"}
+
+    def test_loop_back_edge_carries_loop_body_definition(self):
+        flow = flow_of(
+            """
+            def f(items):
+                x = set()
+                for item in items:
+                    y = x
+                    x = [item]
+                return x
+            """
+        )
+        use = name_loads(flow, "x")[0]  # the `y = x` read inside the loop
+        values = {type(d.value).__name__ for d in flow.definitions_for(use)}
+        # First iteration sees the set(); later iterations see the list.
+        assert values == {"Call", "List"}
+
+    def test_parameter_is_a_definition(self):
+        flow = flow_of(
+            """
+            def f(x):
+                return x
+            """
+        )
+        (use,) = name_loads(flow, "x")
+        kinds = {d.kind for d in flow.definitions_for(use)}
+        assert kinds == {"param"}
+
+    def test_module_level_falls_back_to_module_defs(self):
+        flow = flow_of(
+            """
+            TABLE = {"a": 1}
+
+            def f():
+                return TABLE
+            """
+        )
+        (use,) = name_loads(flow, "TABLE")
+        defs = flow.definitions_for(use)
+        assert len(defs) == 1
+        assert isinstance(next(iter(defs)).value, ast.Dict)
+
+    def test_try_except_is_pessimistic(self):
+        flow = flow_of(
+            """
+            def f():
+                x = {1}
+                try:
+                    x = [1]
+                except ValueError:
+                    pass
+                return x
+            """
+        )
+        (use,) = name_loads(flow, "x")
+        # The body may or may not have completed before the handler ran.
+        assert len(flow.definitions_for(use)) == 2
+
+
+class TestResolution:
+    def test_resolves_name_to_module_function(self):
+        flow = flow_of(
+            """
+            def work(item):
+                return item
+
+            task = work
+            result = runner(task)
+            """
+        )
+        (use,) = name_loads(flow, "task")
+        resolved = flow.resolve_callable(use)
+        assert isinstance(resolved, ast.FunctionDef) and resolved.name == "work"
+
+    def test_resolves_through_lambda_assignment(self):
+        flow = flow_of(
+            """
+            task = lambda item: item
+            runner(task)
+            """
+        )
+        (use,) = name_loads(flow, "task")
+        assert isinstance(flow.resolve_callable(use), ast.Lambda)
+
+    def test_ambiguous_name_does_not_resolve(self):
+        flow = flow_of(
+            """
+            def a(): ...
+            def b(): ...
+
+            def f(flag):
+                task = a if flag else b
+                return runner(task)
+            """
+        )
+        (use,) = name_loads(flow, "task")
+        assert flow.resolve_callable(use) is None
+
+    def test_sole_definition_requires_exactly_one(self):
+        flow = flow_of(
+            """
+            def f(flag):
+                x = 1
+                if flag:
+                    x = 2
+                return x
+            """
+        )
+        (use,) = name_loads(flow, "x")
+        assert flow.sole_definition(use) is None
+
+
+class TestModuleTopLevel:
+    def test_toplevel_calls_skip_function_bodies_and_main_guard(self):
+        flow = flow_of(
+            """
+            import threading
+
+            lock = threading.Lock()
+
+            def f():
+                inner_only()
+
+            if __name__ == "__main__":
+                main_only()
+            """
+        )
+        callees = {
+            node.func.attr if isinstance(node.func, ast.Attribute) else node.func.id
+            for node in flow.module_toplevel_calls()
+        }
+        assert "Lock" in callees
+        assert "inner_only" not in callees
+        assert "main_only" not in callees
+
+    def test_toplevel_calls_descend_into_try_and_if(self):
+        flow = flow_of(
+            """
+            try:
+                setup()
+            except ImportError:
+                fallback()
+
+            if FLAG:
+                conditional()
+            """
+        )
+        callees = {node.func.id for node in flow.module_toplevel_calls()}
+        assert callees == {"setup", "fallback", "conditional"}
+
+    def test_uses_of_module_definition(self):
+        flow = flow_of(
+            """
+            REGISTRY = {}
+
+            def read():
+                return REGISTRY
+
+            def other():
+                return []
+            """
+        )
+        (definition,) = flow.module_defs["REGISTRY"]
+        uses = flow.uses_of(definition)
+        assert len(uses) == 1

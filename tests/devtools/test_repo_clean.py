@@ -26,7 +26,7 @@ def test_cli_exits_zero_on_the_repo():
 
 
 def test_cli_exits_nonzero_on_seeded_domain_bugs(tmp_path, capsys):
-    """A fixture with a lat/lon swap, a naive datetime, and a mining->web import."""
+    """One seeded bug per rule family; a pack regressing to a no-op fails here."""
     pkg = tmp_path / "repro" / "mining"
     pkg.mkdir(parents=True)
     (tmp_path / "repro" / "__init__.py").write_text("")
@@ -34,20 +34,41 @@ def test_cli_exits_nonzero_on_seeded_domain_bugs(tmp_path, capsys):
     (pkg / "seeded.py").write_text(
         textwrap.dedent(
             """\
+            import random
+            import threading
             from datetime import datetime
 
             from repro.web import api
+            from repro.exec import ordered_map
+
+            _LOCK = threading.Lock()
 
 
             def place(venue):
                 p = GeoPoint(venue.lon, venue.lat)
                 stamped = datetime.now()
                 return p, stamped
+
+
+            def shuffled(venues):
+                return random.sample(venues, len(venues))
+
+
+            def fanout(items):
+                return ordered_map(lambda x: x + 1, items)
+
+
+            def count(obs, venues):
+                obs.inc("repro_mining_venues_counted", len(venues))
             """
         )
     )
-    assert main([str(tmp_path)]) == 1
+    assert main(["--no-cache", str(tmp_path)]) == 1
     out = capsys.readouterr().out
-    assert "CW101" in out  # lat/lon swap
-    assert "CW103" in out  # naive datetime
-    assert "CW108" in out  # forbidden mining -> web import
+    assert "CW101" in out  # CW1xx: lat/lon swap
+    assert "CW103" in out  # CW1xx: naive datetime
+    assert "CW108" in out  # CW1xx: forbidden mining -> web import
+    assert "CW201" in out  # CW2xx: unseeded global RNG
+    assert "CW301" in out  # CW3xx: lambda shipped to ordered_map
+    assert "CW302" in out  # CW3xx: module-level lock
+    assert "CW401" in out  # CW4xx: metric name missing its unit segment

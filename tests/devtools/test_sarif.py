@@ -1,0 +1,69 @@
+"""SARIF 2.1.0 output."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.devtools.engine import LintEngine, all_rules
+from repro.devtools.sarif import sarif_json, sarif_payload
+
+
+def findings_for(source: str, module="repro.web.demo"):
+    return LintEngine().lint_source(
+        textwrap.dedent(source), "src/repro/web/demo.py", module
+    )
+
+
+def test_payload_shape_and_rule_catalog():
+    payload = sarif_payload([])
+    assert payload["version"] == "2.1.0"
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "crowdweb-lint"
+    assert [rule["id"] for rule in driver["rules"]] == sorted(
+        rule.id for rule in all_rules()
+    )
+    assert run["results"] == []
+
+
+def test_results_carry_location_and_rule_index():
+    findings = findings_for(
+        """
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now()
+        """
+    )
+    payload = sarif_payload(findings)
+    (run,) = payload["runs"]
+    results = run["results"]
+    assert len(results) == len(findings) > 0
+    rules = run["tool"]["driver"]["rules"]
+    for result, finding in zip(results, findings):
+        assert result["ruleId"] == finding.rule_id
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/web/demo.py"
+        assert location["region"]["startLine"] == finding.line
+        assert rules[result["ruleIndex"]]["id"] == finding.rule_id
+
+
+def test_fixable_findings_are_marked():
+    findings = findings_for(
+        'def f(obs):\n    obs.inc("repro_web_hits_count", 1)\n'
+    )
+    fixable = [f for f in findings if f.fix is not None]
+    assert fixable
+    payload = sarif_payload(findings)
+    marked = [
+        result
+        for result in payload["runs"][0]["results"]
+        if result.get("properties", {}).get("fixable")
+    ]
+    assert len(marked) == len(fixable)
+
+
+def test_sarif_json_round_trips():
+    text = sarif_json(findings_for("import os\n"))
+    assert json.loads(text)["version"] == "2.1.0"
