@@ -4,12 +4,16 @@
 Runs the engine twice over the real tree with a fresh cache directory and
 asserts, at the engine level (no interpreter startup noise):
 
-1. the cold run analyzes every file and the warm run analyzes **zero**;
-2. both runs produce identical findings;
-3. the warm run is at least ``MIN_SPEEDUP``x faster wall-clock.  The cold
-   run parses and walks ~100 ASTs while the warm run only hashes file
-   contents, so even a 1-CPU runner clears 5x with a wide margin; the
-   structural check (analyzed == 0) is the load-bearing assertion.
+1. the cold run analyzes every file and the warm run analyzes **zero** —
+   which also makes the structural work ratio (files analyzed cold vs.
+   warm) at least ``MIN_WORK_RATIO``x;
+2. the warm run rebuilds no module summaries (the whole-program pass is
+   served from the summary cache too);
+3. both runs produce identical findings.
+
+Work done is counted structurally (files re-analyzed, summaries rebuilt),
+never by wall-clock: a loaded CI runner can stall either run arbitrarily,
+so timings are printed for humans but carry no assertion.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from pathlib import Path
 from repro.devtools.cache import LintCache
 from repro.devtools.engine import LintEngine
 
-MIN_SPEEDUP = 5.0
+MIN_WORK_RATIO = 5.0
 PATHS = [Path("src"), Path("tests")]
 
 
@@ -41,16 +45,21 @@ def main() -> int:
         warm_s = time.perf_counter() - t0
         warm_stats = engine.last_stats
 
-    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    ratio = (
+        cold_stats.analyzed / warm_stats.analyzed
+        if warm_stats.analyzed
+        else float("inf")
+    )
     print(
         f"cold: {cold_stats.files} files, {cold_stats.analyzed} analyzed, "
-        f"{cold_s * 1000:.0f} ms"
+        f"{cold_stats.summaries_built} summaries built, {cold_s * 1000:.0f} ms"
     )
     print(
         f"warm: {warm_stats.files} files, {warm_stats.analyzed} analyzed, "
-        f"{warm_stats.cache_hits} cache hits, {warm_s * 1000:.0f} ms "
-        f"({speedup:.1f}x)"
+        f"{warm_stats.cache_hits} cache hits, "
+        f"{warm_stats.summaries_cached} summaries cached, {warm_s * 1000:.0f} ms"
     )
+    print(f"work ratio: {ratio:.1f}x analyzed (timing is informational only)")
 
     problems = []
     if cold_stats.analyzed != cold_stats.files:
@@ -59,10 +68,16 @@ def main() -> int:
         problems.append(f"warm run re-analyzed {warm_stats.analyzed} file(s)")
     if warm_stats.cache_hits != warm_stats.files:
         problems.append("warm run was not served entirely from the cache")
+    if warm_stats.summaries_built != 0:
+        problems.append(
+            f"warm run rebuilt {warm_stats.summaries_built} module summaries"
+        )
     if [f.as_dict() for f in cold] != [f.as_dict() for f in warm]:
         problems.append("cached findings differ from analyzed findings")
-    if speedup < MIN_SPEEDUP:
-        problems.append(f"warm relint only {speedup:.1f}x faster (need {MIN_SPEEDUP}x)")
+    if ratio < MIN_WORK_RATIO:
+        problems.append(
+            f"warm relint did {ratio:.1f}x less analysis (need {MIN_WORK_RATIO}x)"
+        )
     for problem in problems:
         print(f"lint-cache-smoke: FAIL: {problem}", file=sys.stderr)
     if not problems:

@@ -1,0 +1,122 @@
+"""Finding baselines: ratchet CI on *new* findings only.
+
+A baseline is a snapshot of the findings a tree is known (and temporarily
+allowed) to have.  CI lints with ``--baseline .crowdlint-baseline.json`` and
+fails only when a finding appears that the snapshot does not cover — so a
+new rule pack can land with ``severity: error`` before every historical
+finding is fixed, and the debt can only shrink: re-recording the file with
+``--update-baseline`` after a cleanup drops the fixed entries.
+
+Findings are identified by a *signature* — ``path::rule::digest`` where the
+digest covers the message text — deliberately **not** by line number, so an
+unrelated edit that shifts a finding down a few lines does not fail the
+build.  Signatures are counted: a file allowed two CW501s fails CI when a
+third shows up, even though the signature already exists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .engine import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "finding_signature",
+    "load_baseline",
+    "new_findings",
+    "snapshot",
+    "write_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def finding_signature(finding: Finding) -> str:
+    """A line-number-free identity for one finding.
+
+    ``path::rule::digest(message)`` — stable across edits that only move the
+    finding, distinct across different messages from the same rule (the
+    message embeds the offending name, so two different dead exports in one
+    file do not collide).
+    """
+    digest = hashlib.sha256(finding.message.encode("utf-8")).hexdigest()[:12]
+    path = finding.path.replace("\\", "/")
+    return f"{path}::{finding.rule_id}::{digest}"
+
+
+def snapshot(findings: Iterable[Finding]) -> Dict[str, object]:
+    """The baseline payload covering exactly ``findings``."""
+    counts = Counter(finding_signature(finding) for finding in findings)
+    return {
+        "version": BASELINE_VERSION,
+        "entries": {signature: counts[signature] for signature in sorted(counts)},
+    }
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """The signature counts recorded in ``path``.
+
+    A missing file is an empty baseline (every finding is new) — that makes
+    ``--baseline`` safe to turn on in CI before the snapshot first lands.
+    A malformed file raises ``ValueError``: silently treating it as empty
+    would fail CI with hundreds of "new" findings and no hint why.
+    """
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return {}
+    try:
+        payload = json.loads(raw)
+        version = payload["version"]
+        entries = payload["entries"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(f"malformed baseline file {path}: {exc}") from exc
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline file {path} has version {version!r}; "
+            f"this crowdlint writes version {BASELINE_VERSION}"
+        )
+    if not isinstance(entries, dict) or not all(
+        isinstance(count, int) and count > 0 for count in entries.values()
+    ):
+        raise ValueError(f"malformed baseline file {path}: bad entry counts")
+    return dict(entries)
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Record ``findings`` as the new baseline; returns the entry count."""
+    payload = snapshot(findings)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return sum(payload["entries"].values())
+
+
+def new_findings(
+    findings: Iterable[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Split ``findings`` against a baseline.
+
+    Returns ``(new, suppressed)`` where ``new`` holds the findings the
+    baseline does not cover and ``suppressed`` counts the ones it does.
+    When a signature occurs more often than its recorded count, the
+    *earliest* occurrences (sorted order: path, then line) are treated as
+    the known ones and the overflow is reported — deterministic, and the
+    reported line points at the most recently added site in the common
+    append-at-the-end case.
+    """
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in sorted(findings):
+        signature = finding_signature(finding)
+        allowance = remaining.get(signature, 0)
+        if allowance > 0:
+            remaining[signature] = allowance - 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

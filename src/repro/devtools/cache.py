@@ -68,26 +68,39 @@ class LintCache(LintCacheProtocol):
         module: Optional[str],
         is_init: bool,
         rule_ids: Sequence[str] = (),
+        extra: str = "",
     ) -> str:
         digest = hashlib.sha256()
         digest.update((module or "").encode("utf-8"))
         digest.update(b"\x00init\x00" if is_init else b"\x00mod\x00")
         digest.update(",".join(sorted(rule_ids)).encode("utf-8"))
         digest.update(b"\x00")
+        digest.update(extra.encode("utf-8"))
+        digest.update(b"\x00")
         digest.update(source.encode("utf-8"))
         return digest.hexdigest()
 
     def _entry(
-        self, source: str, path: str, module: Optional[str], rule_ids: Sequence[str]
+        self,
+        source: str,
+        path: str,
+        module: Optional[str],
+        rule_ids: Sequence[str],
+        extra: str = "",
     ) -> Path:
         is_init = Path(path).name == "__init__.py"
-        key = self.key_for(source, module, is_init, rule_ids)
+        key = self.key_for(source, module, is_init, rule_ids, extra)
         return self.dir / key[:2] / f"{key}.json"
 
     def get(
-        self, source: str, path: str, module: Optional[str], rule_ids: Sequence[str]
+        self,
+        source: str,
+        path: str,
+        module: Optional[str],
+        rule_ids: Sequence[str],
+        extra: str = "",
     ) -> Optional[List[Finding]]:
-        entry = self._entry(source, path, module, rule_ids)
+        entry = self._entry(source, path, module, rule_ids, extra)
         try:
             payload = json.loads(entry.read_text(encoding="utf-8"))
         except (OSError, ValueError):
@@ -111,9 +124,47 @@ class LintCache(LintCacheProtocol):
         module: Optional[str],
         rule_ids: Sequence[str],
         findings: List[Finding],
+        extra: str = "",
     ) -> None:
-        entry = self._entry(source, path, module, rule_ids)
+        entry = self._entry(source, path, module, rule_ids, extra)
         payload = {"findings": [finding.to_cache_dict() for finding in findings]}
+        self._write(entry, payload)
+
+    # ---------------------------------------------------- module summaries
+
+    def summary_key(self, source: str, module: Optional[str], is_init: bool) -> str:
+        digest = hashlib.sha256(b"summary\x00")
+        digest.update((module or "").encode("utf-8"))
+        digest.update(b"\x00init\x00" if is_init else b"\x00mod\x00")
+        digest.update(source.encode("utf-8"))
+        return digest.hexdigest()
+
+    def _summary_entry(self, source: str, module: Optional[str], is_init: bool) -> Path:
+        key = self.summary_key(source, module, is_init)
+        return self.dir / "summaries" / key[:2] / f"{key}.json"
+
+    def get_summary(
+        self, source: str, module: Optional[str], is_init: bool
+    ) -> Optional[dict]:
+        """A cached ``domains.extract_summary`` result, or ``None``.
+
+        Summaries depend only on the module's own content, so unchanged files
+        never re-parse even when the whole-program stage must re-run.
+        """
+        entry = self._summary_entry(source, module, is_init)
+        try:
+            return json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+
+    def put_summary(
+        self, source: str, module: Optional[str], is_init: bool, summary: dict
+    ) -> None:
+        self._write(self._summary_entry(source, module, is_init), summary)
+
+    # ---------------------------------------------------------- plumbing
+
+    def _write(self, entry: Path, payload: dict) -> None:
         try:
             entry.parent.mkdir(parents=True, exist_ok=True)
             tmp = entry.with_suffix(f".tmp{os.getpid()}")

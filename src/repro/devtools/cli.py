@@ -22,6 +22,7 @@ from collections import Counter
 from pathlib import Path
 from typing import List, Optional
 
+from .baseline import load_baseline, new_findings, write_baseline
 from .cache import DEFAULT_CACHE_DIR, LintCache
 from .engine import LintEngine, all_rules, iter_python_files, module_name_for, rule_registry
 from .fix import fix_file, fix_source, unified_diff
@@ -92,6 +93,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a per-rule finding count summary",
     )
     parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help="report only findings not recorded in FILE (the ratchet)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --baseline: record the current findings in FILE and exit 0",
+    )
+    parser.add_argument(
+        "--callgraph",
+        action="store_true",
+        help="print the resolved whole-program call graph instead of linting",
+    )
+    parser.add_argument(
+        "--dot",
+        action="store_true",
+        help="with --callgraph: emit Graphviz DOT instead of edge lines",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list the available rules and exit",
@@ -132,6 +154,26 @@ def _list_rules(as_json: bool) -> int:
             marker = "*" if rule.fixable else " "
             print(f"{rule.id}{marker} {rule.name:<26} {rule.description}")
         print("\n(* = supports --fix)", file=sys.stderr)
+    return 0
+
+
+def _print_callgraph(paths: List[Path], as_dot: bool) -> int:
+    """``--callgraph``: build the whole-program graph and print it."""
+    from .callgraph import ProjectAnalysis  # deferred: lint runs may skip it
+
+    files = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            print(f"crowdweb-lint: unreadable file {file_path}: {exc}", file=sys.stderr)
+            return 2
+        files.append(
+            (str(file_path), source, module_name_for(file_path),
+             file_path.name == "__init__.py")
+        )
+    graph = ProjectAnalysis.build(files).call_graph()
+    print(graph.to_dot() if as_dot else graph.render())
     return 0
 
 
@@ -198,11 +240,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     engine = LintEngine(select=_split_ids(args.select), ignore=_split_ids(args.ignore))
     paths = [Path(path) for path in args.paths]
 
+    if args.callgraph or args.dot:
+        return _print_callgraph(paths, as_dot=args.dot)
+
+    if args.update_baseline and args.baseline is None:
+        print("crowdweb-lint: --update-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
     if args.fix or args.diff:
         return _run_fix(engine, paths, diff_only=args.diff and not args.fix)
 
     cache = None if args.no_cache else LintCache(root=args.cache_dir)
     findings = engine.lint_paths(paths, jobs=max(1, args.jobs), cache=cache)
+
+    if args.baseline is not None:
+        if args.update_baseline:
+            recorded = write_baseline(args.baseline, findings)
+            print(
+                f"crowdweb-lint: recorded {recorded} finding(s) in {args.baseline}",
+                file=sys.stderr,
+            )
+            return 0
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"crowdweb-lint: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = new_findings(findings, baseline)
+        if suppressed:
+            print(
+                f"crowdweb-lint: {suppressed} baselined finding(s) suppressed",
+                file=sys.stderr,
+            )
 
     if args.format == "sarif":
         print(sarif_json(findings))

@@ -83,7 +83,9 @@ class Finding:
     """One lint finding, sortable into stable (path, line, col, rule) order.
 
     ``fix`` (when present) is the rule's safe rewrite, applied by
-    ``crowdweb-lint --fix``; it never participates in ordering or equality.
+    ``crowdweb-lint --fix``; ``severity`` is ``"warning"`` or ``"error"``
+    (rules escalate hot-path findings).  Neither participates in ordering
+    or equality.
     """
 
     path: str
@@ -92,6 +94,7 @@ class Finding:
     rule_id: str
     message: str
     fix: Optional[Fix] = field(default=None, compare=False)
+    severity: str = field(default="warning", compare=False)
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
@@ -103,6 +106,7 @@ class Finding:
             "col": self.col,
             "rule": self.rule_id,
             "message": self.message,
+            "severity": self.severity,
             "fixable": self.fix is not None,
         }
 
@@ -134,6 +138,7 @@ class Finding:
             rule_id=str(payload["rule"]),
             message=str(payload["message"]),
             fix=fix,
+            severity=str(payload.get("severity", "warning")),
         )
 
 
@@ -150,6 +155,10 @@ class Rule:
     description: str = ""
     #: Whether the rule can attach a safe rewrite to (some of) its findings.
     fixable: bool = False
+    #: Whether the rule consumes whole-program facts (``ctx.project``).  The
+    #: engine builds the project analysis only when a selected rule needs it,
+    #: so per-file-only runs never pay for summary extraction.
+    requires_project: bool = False
 
     def check_module(self, ctx: "FileContext") -> None:
         """Optional whole-module hook, called once per file before the walk."""
@@ -194,13 +203,24 @@ def get_rule(rule_id: str) -> Type[Rule]:
 class FileContext:
     """Everything a rule can see about the file under analysis."""
 
-    def __init__(self, source: str, path: str, module: Optional[str], tree: ast.Module):
+    def __init__(
+        self,
+        source: str,
+        path: str,
+        module: Optional[str],
+        tree: ast.Module,
+        project: Optional[object] = None,
+    ):
         self.source = source
         self.path = path
         #: Dotted module name (``repro.crowd.sync``) or ``None`` when the file
         #: is outside any importable package (e.g. a loose script).
         self.module = module
         self.tree = tree
+        #: Whole-program facts (a ``callgraph.ProjectAnalysis``) when the run
+        #: built them; ``None`` on per-file-only runs, so project rules must
+        #: no-op without it.
+        self.project = project
         self.lines = source.splitlines()
         self.findings: List[Finding] = []
         self._line_disables, self._file_disables = _parse_pragmas(source)
@@ -210,6 +230,11 @@ class FileContext:
     @property
     def is_init(self) -> bool:
         return Path(self.path).name == "__init__.py"
+
+    @property
+    def module_key(self) -> str:
+        """The module's key in the project analysis (dotted name or path)."""
+        return self.module or self.path
 
     @property
     def flow(self):
@@ -251,11 +276,18 @@ class FileContext:
         return self.source[start:end]
 
     def report(
-        self, rule: Rule, node: ast.AST, message: str, fix: Optional[Fix] = None
+        self,
+        rule: Rule,
+        node: ast.AST,
+        message: str,
+        fix: Optional[Fix] = None,
+        severity: str = "warning",
     ) -> None:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0) + 1
-        self.findings.append(Finding(self.path, line, col, rule.id, message, fix=fix))
+        self.findings.append(
+            Finding(self.path, line, col, rule.id, message, fix=fix, severity=severity)
+        )
 
     def suppressed(self, finding: Finding) -> bool:
         if _matches(self._file_disables, finding.rule_id):
@@ -331,7 +363,11 @@ class LintEngine:
     # -- single file -------------------------------------------------------
 
     def lint_source(
-        self, source: str, path: str = "<string>", module: Optional[str] = None
+        self,
+        source: str,
+        path: str = "<string>",
+        module: Optional[str] = None,
+        project: Optional[object] = None,
     ) -> List[Finding]:
         try:
             tree = ast.parse(source, filename=path)
@@ -340,7 +376,7 @@ class LintEngine:
                 Finding(path, exc.lineno or 1, (exc.offset or 0) or 1, "CW100",
                         f"syntax error: {exc.msg}")
             ]
-        ctx = FileContext(source, path, module, tree)
+        ctx = FileContext(source, path, module, tree, project=project)
         instances = [rule_cls() for rule_cls in self.rules]
         dispatch: Dict[str, List[object]] = {}
         for instance in instances:
@@ -378,11 +414,20 @@ class LintEngine:
         skip parsing and analysis entirely.  Either way the result is the
         same sorted finding list, and :attr:`last_stats` records how much
         work was actually done.
+
+        When a selected rule declares ``requires_project``, every file is
+        read up front and a whole-program :class:`~repro.devtools.callgraph.
+        ProjectAnalysis` is built first (module summaries come from the
+        cache when file content is unchanged).  Each file's cache entry is
+        then additionally keyed by its :meth:`dep_key` — the digest of the
+        call-graph facts its findings can observe — so a warm run re-analyzes
+        exactly the files whose content *or* dependencies changed.
         """
         findings: List[Finding] = []
         pending: List[Tuple[str, str, Optional[str]]] = []  # (path, source, module)
         stats = LintStats()
         rule_ids = [rule.id for rule in self.rules]
+        sources: List[Tuple[str, str, Optional[str]]] = []
         for file_path in iter_python_files(paths):
             stats.files += 1
             try:
@@ -393,28 +438,53 @@ class LintEngine:
                 )
                 stats.analyzed += 1
                 continue
-            module = module_name_for(file_path)
+            sources.append((str(file_path), source, module_name_for(file_path)))
+
+        project = None
+        project_data: Optional[Dict[str, object]] = None
+        if any(rule.requires_project for rule in self.rules):
+            from .callgraph import ProjectAnalysis  # deferred: per-file runs skip it
+
+            project = ProjectAnalysis.build(
+                (
+                    (path, source, module, Path(path).name == "__init__.py")
+                    for path, source, module in sources
+                ),
+                cache=cache if hasattr(cache, "get_summary") else None,
+            )
+            stats.summaries_built = project.summaries_built
+            stats.summaries_cached = project.summaries_cached
+
+        for path, source, module in sources:
+            dep_key = project.dep_key(module or path) if project is not None else ""
             if cache is not None:
-                cached = cache.get(source, str(file_path), module, rule_ids)
+                cached = cache.get(source, path, module, rule_ids, extra=dep_key)
                 if cached is not None:
                     stats.cache_hits += 1
                     findings.extend(cached)
                     continue
-            pending.append((str(file_path), source, module))
+            pending.append((path, source, module))
 
         stats.analyzed += len(pending)
         if jobs > 1 and len(pending) > 1:
+            if project is not None:
+                project_data = project.to_dict()
             work = [(source, path, module, rule_ids) for path, source, module in pending]
-            with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_pool_worker,
+                initargs=(project_data,),
+            ) as pool:
                 analyzed = list(pool.map(_lint_one, work, chunksize=4))
         else:
             analyzed = [
-                self.lint_source(source, path, module)
+                self.lint_source(source, path, module, project=project)
                 for path, source, module in pending
             ]
         for (path, source, module), file_findings in zip(pending, analyzed):
             if cache is not None:
-                cache.put(source, path, module, rule_ids, file_findings)
+                dep_key = project.dep_key(module or path) if project is not None else ""
+                cache.put(source, path, module, rule_ids, file_findings, extra=dep_key)
             findings.extend(file_findings)
         self.last_stats = stats
         return sorted(findings)
@@ -427,6 +497,8 @@ class LintStats:
     files: int = 0
     analyzed: int = 0
     cache_hits: int = 0
+    summaries_built: int = 0
+    summaries_cached: int = 0
 
 
 class LintCacheProtocol:
@@ -434,20 +506,38 @@ class LintCacheProtocol:
 
     ``rule_ids`` is the engine's active rule selection; it must participate
     in the entry key, otherwise a ``--select``/``--ignore`` run would replay
-    findings cached under a different rule set.
+    findings cached under a different rule set.  ``extra`` is an opaque key
+    component (the project dep-key) with the same invalidation role.
     """
 
-    def get(self, source, path, module, rule_ids):  # pragma: no cover - interface
+    def get(self, source, path, module, rule_ids, extra=""):  # pragma: no cover
         raise NotImplementedError
 
-    def put(self, source, path, module, rule_ids, findings):  # pragma: no cover
+    def put(self, source, path, module, rule_ids, findings, extra=""):  # pragma: no cover
         raise NotImplementedError
+
+
+#: Per-process rehydrated project analysis (see ``_init_pool_worker``).
+_POOL_PROJECT = None
+
+
+def _init_pool_worker(project_data: Optional[Dict[str, object]]) -> None:
+    """Pool initializer: rehydrate the solved project analysis once per worker."""
+    global _POOL_PROJECT
+    if project_data is None:
+        _POOL_PROJECT = None
+        return
+    from .callgraph import ProjectAnalysis
+
+    _POOL_PROJECT = ProjectAnalysis.from_dict(project_data)
 
 
 def _lint_one(work: Tuple[str, str, Optional[str], List[str]]) -> List[Finding]:
     """Process-pool worker: lint one in-memory source with the given rules."""
     source, path, module, rule_ids = work
-    return LintEngine(select=rule_ids).lint_source(source, path, module)
+    return LintEngine(select=rule_ids).lint_source(
+        source, path, module, project=_POOL_PROJECT
+    )
 
 
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "build", "dist", ".venv", "venv"}

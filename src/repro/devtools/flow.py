@@ -44,8 +44,12 @@ class Definition:
     (``value`` is the ``FunctionDef``/``ClassDef`` node itself), ``"import"``
     (``value`` is the ``Import``/``ImportFrom`` statement), or one of the
     opaque binders ``"param"``, ``"for"``, ``"with"``, ``"except"``,
-    ``"unpack"``, ``"global"`` where the bound value is unknowable
-    statically (``value`` is ``None``).
+    ``"unpack"``, ``"comp"`` (a comprehension target), ``"global"`` where
+    the bound value is unknowable statically (``value`` is ``None``).
+
+    Walrus assignments (``x := expr``) anywhere in a statement's expressions
+    count as ``"assign"`` bindings of that statement — except inside nested
+    ``lambda`` bodies, which are their own scope.
     """
 
     __slots__ = ("name", "kind", "value", "stmt")
@@ -104,7 +108,24 @@ def _definitions_of(stmt: ast.stmt) -> List[Definition]:
     elif isinstance(stmt, ast.Global):
         for name in stmt.names:
             defs.append(Definition(name, "global", None, stmt))
+    # Walrus assignments bind in the enclosing function/module scope, even
+    # from inside comprehensions (PEP 572) — but not from nested def/lambda
+    # bodies, which are their own scope (and def/class statements only bind
+    # their name here; their bodies are other graphs' business).
+    if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        for walrus in _walrus_targets(stmt):
+            defs.append(Definition(walrus.target.id, "assign", walrus.value, stmt))
     return defs
+
+
+def _walrus_targets(node: ast.AST) -> Iterator[ast.NamedExpr]:
+    """Every ``NamedExpr`` under ``node`` outside nested function scopes."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, ast.NamedExpr) and isinstance(child.target, ast.Name):
+            yield child
+        yield from _walrus_targets(child)
 
 
 class _Block:
@@ -407,9 +428,21 @@ class ModuleFlow:
         with *every* top-level binding of the name — flow-insensitive but
         safe, since rules require all definitions to agree anyway.
         """
+        comp_def = self._comprehension_binding(name_node)
+        if comp_def is not None:
+            return {comp_def}
         stmt = self.enclosing_statement(name_node)
         func = self.enclosing_function(name_node)
         while func is not None and stmt is not None:
+            if isinstance(func, ast.Lambda):
+                # Lambda bodies anchor no statements, so the graph lookup
+                # below cannot see their parameters; resolve them here lest
+                # the name leak through to an unrelated outer binding.
+                params = {arg.arg for arg in _all_args(func.args)}
+                if name_node.id in params:
+                    return {Definition(name_node.id, "param", None, ast.Pass())}
+                func = self.enclosing_function(func)
+                continue
             graph = self.graph_for(func)
             anchored = stmt
             while anchored is not None and not graph.knows(anchored):
@@ -424,6 +457,31 @@ class ModuleFlow:
             if defs:
                 return defs
         return set(self.module_defs.get(name_node.id, ()))
+
+    def _comprehension_binding(self, name_node: ast.Name) -> Optional[Definition]:
+        """An opaque ``"comp"`` definition when a comprehension target shadows
+        this use.
+
+        Comprehensions are their own scope in Python 3: ``[x for x in xs]``
+        must not resolve the inner ``x`` to some module-level ``x``.  The
+        first generator's *iterable* is evaluated in the enclosing scope, so
+        a use inside it is exempt from the shadow.
+        """
+        path = {id(name_node)}
+        current: Optional[ast.AST] = self.parents.get(name_node)
+        while current is not None and not isinstance(current, ast.stmt):
+            if isinstance(
+                current, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                inside_first_iter = id(current.generators[0].iter) in path
+                if not inside_first_iter and any(
+                    name_node.id in _target_names(gen.target)
+                    for gen in current.generators
+                ):
+                    return Definition(name_node.id, "comp", None, ast.Pass())
+            path.add(id(current))
+            current = self.parents.get(current)
+        return None
 
     def sole_definition(self, name_node: ast.Name) -> Optional[Definition]:
         """The single definition reaching a use, or ``None`` if ambiguous."""
@@ -502,6 +560,15 @@ class ModuleFlow:
                         yield node
 
         yield from walk_stmts(self.tree.body)
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    """The plain names a (possibly nested tuple) assignment target binds."""
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
 
 
 def _all_args(arguments: ast.arguments) -> List[ast.arg]:

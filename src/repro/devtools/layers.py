@@ -37,9 +37,12 @@ ROOT_PACKAGE = "repro"
 #: catalog, and the layer isolation check all walk this list.
 DEVTOOLS_MODULES: FrozenSet[str] = frozenset(
     {
+        "baseline",
         "cache",
+        "callgraph",
         "cli",
         "docscheck",
+        "domains",
         "engine",
         "fix",
         "flow",
@@ -53,9 +56,11 @@ DEVTOOLS_MODULES: FrozenSet[str] = frozenset(
         "rules.determinism",
         "rules.exceptions",
         "rules.exports",
+        "rules.iddomains",
         "rules.imports",
         "rules.mutable_defaults",
         "rules.observability",
+        "rules.perf",
         "rules.units",
         "sarif",
     }

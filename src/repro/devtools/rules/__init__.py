@@ -11,8 +11,10 @@ from . import (  # noqa: F401  (imported for registration side effects)
     determinism,
     exceptions,
     exports,
+    iddomains,
     imports,
     mutable_defaults,
     observability,
+    perf,
     units,
 )

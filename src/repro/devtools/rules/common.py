@@ -1,9 +1,18 @@
-"""Shared AST helpers for the crowdlint rules (identifier/unit parsing)."""
+"""Shared AST helpers for the crowdlint rules (identifier/unit parsing).
+
+The identifier-classification tables (axis words, unit suffixes, id-domain
+owners) live in :mod:`repro.devtools.domains` — the interprocedural layer
+and the per-file rules must agree on what a name means, so there is exactly
+one copy.  This module re-exports the classifiers alongside the small AST
+conveniences the rule packs share.
+"""
 
 from __future__ import annotations
 
 import ast
 from typing import Optional
+
+from ..domains import axis_of, unit_of  # noqa: F401  (re-exported)
 
 __all__ = ["identifier_of", "callee_name", "axis_of", "unit_of"]
 
@@ -23,57 +32,3 @@ def identifier_of(node: ast.AST) -> Optional[str]:
 def callee_name(node: ast.Call) -> Optional[str]:
     """The simple name a call dispatches to (``f(...)`` or ``mod.f(...)``)."""
     return identifier_of(node.func)
-
-
-_LAT_WORDS = {"lat", "lats", "latitude", "latitudes", "phi"}
-_LON_WORDS = {"lon", "lons", "lng", "longitude", "longitudes", "lam", "lambda"}
-
-
-def axis_of(name: Optional[str]) -> Optional[str]:
-    """Classify an identifier as a ``"lat"`` or ``"lon"`` coordinate, if clear.
-
-    Splits on underscores and strips trailing digits so ``lat1``, ``min_lon``
-    and ``start_latitude`` all classify.  Returns ``None`` when the identifier
-    mentions neither axis or (defensively) both.
-    """
-    if not name:
-        return None
-    hits = set()
-    for part in name.lower().split("_"):
-        part = part.rstrip("0123456789")
-        if part in _LAT_WORDS:
-            hits.add("lat")
-        elif part in _LON_WORDS:
-            hits.add("lon")
-    if len(hits) == 1:
-        return hits.pop()  # crowdlint: disable=CW204 -- single-element set, pop is deterministic
-    return None
-
-
-#: Variable-name suffix → canonical unit.  Deliberately small: only suffixes
-#: the codebase actually uses as unit markers, to keep false positives near
-#: zero (``_s`` is seconds throughout, ``_m`` meters, ``_deg`` degrees).
-_UNIT_SUFFIXES = {
-    "m": "meters",
-    "meters": "meters",
-    "km": "kilometers",
-    "deg": "degrees",
-    "degrees": "degrees",
-    "rad": "radians",
-    "s": "seconds",
-    "sec": "seconds",
-    "seconds": "seconds",
-    "ms": "milliseconds",
-}
-
-
-def unit_of(name: Optional[str]) -> Optional[str]:
-    """The unit encoded in an identifier's suffix, or ``None``.
-
-    ``dist_m`` → meters, ``EARTH_RADIUS_M`` → meters, ``bearing_deg`` →
-    degrees, ``dt_s`` → seconds.  A bare suffix-less name has no unit.
-    """
-    if not name or "_" not in name:
-        return None
-    last = name.lower().rsplit("_", 1)[1].rstrip("0123456789")
-    return _UNIT_SUFFIXES.get(last)

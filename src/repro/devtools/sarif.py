@@ -23,6 +23,9 @@ SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 TOOL_NAME = "crowdweb-lint"
 TOOL_URI = "https://github.com/crowdweb/crowdweb"
 
+#: Finding severities → SARIF result levels (anything unknown → warning).
+_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
 
 def sarif_payload(findings: Iterable[Finding]) -> dict:
     """The findings as a SARIF 2.1.0 ``log`` object (a plain dict)."""
@@ -33,7 +36,7 @@ def sarif_payload(findings: Iterable[Finding]) -> dict:
     for finding in findings:
         result = {
             "ruleId": finding.rule_id,
-            "level": "warning",
+            "level": _LEVELS.get(finding.severity, "warning"),
             "message": {"text": finding.message},
             "locations": [
                 {

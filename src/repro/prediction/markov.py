@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from typing import Dict, Hashable, List, Sequence, Tuple, TypeVar
+from typing import Dict, Hashable, List, Sequence, Set, Tuple, TypeVar
 
 from .base import NextPlacePredictor
 from .frequency import FrequencyPredictor
@@ -47,6 +47,7 @@ class MarkovPredictor(NextPlacePredictor[Token]):
         if k < 1:
             raise ValueError("k must be >= 1")
         ranked: List[Token] = []
+        seen: Set[Token] = set()
         # Longest matching context first, then shorter, then global frequency.
         for length in range(min(self.order, len(prefix)), 0, -1):
             context = tuple(prefix[-length:])
@@ -54,12 +55,14 @@ class MarkovPredictor(NextPlacePredictor[Token]):
             if not counts:
                 continue
             for token, _ in sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0]))):
-                if token not in ranked:
+                if token not in seen:
+                    seen.add(token)
                     ranked.append(token)
                     if len(ranked) == k:
                         return ranked
         for token in self._fallback.predict(prefix, k=k + len(ranked)):
-            if token not in ranked:
+            if token not in seen:
+                seen.add(token)
                 ranked.append(token)
                 if len(ranked) == k:
                     break

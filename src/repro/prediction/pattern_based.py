@@ -10,7 +10,7 @@ pattern speaks — demonstrating that the artifact CrowdWeb computes for
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Hashable, List, Optional, Sequence, Set, Tuple, TypeVar
 
 from ..mining import SequentialPattern
 from .base import NextPlacePredictor
@@ -74,13 +74,16 @@ class PatternBasedPredictor(NextPlacePredictor[Token]):
                     scored.append((matched, pattern.support, next_token))
         scored.sort(key=lambda s: (-s[0], -s[1], repr(s[2])))
         ranked: List[Token] = []
+        seen: Set[Token] = set()
         for _, _, token in scored:
-            if token not in ranked:
+            if token not in seen:
+                seen.add(token)
                 ranked.append(token)
                 if len(ranked) == k:
                     return ranked
         for token in self._fallback.predict(prefix, k=k + len(ranked)):
-            if token not in ranked:
+            if token not in seen:
+                seen.add(token)
                 ranked.append(token)
                 if len(ranked) == k:
                     break

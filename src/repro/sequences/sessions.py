@@ -15,6 +15,9 @@ from ..data.records import CheckIn, CheckInDataset
 from .items import Labeler, TimedItem
 from .timebins import HOURLY, TimeBinning
 
+# crowdlint: disable-file=CW604 -- DAY_KINDS is the documented set of valid
+# day_kind arguments; it is exported for downstream callers even though the
+# repo itself only consumes it through the validation error paths.
 __all__ = ["DailySession", "sessionize_user", "sessionize_dataset", "DAY_KINDS"]
 
 #: Day-type filters: all days, Monday–Friday, or Saturday/Sunday.

@@ -27,6 +27,10 @@ def test_registry_has_every_rule_pack():
         "CW301", "CW302", "CW303",
         # CW4xx: observability conformance
         "CW401", "CW402", "CW403", "CW404",
+        # CW5xx: hot-path performance
+        "CW501", "CW502", "CW503", "CW504",
+        # CW6xx: interprocedural id-domain / units
+        "CW601", "CW602", "CW603", "CW604", "CW605",
     ]
     for rule_cls in all_rules():
         assert rule_cls.name and rule_cls.description

@@ -7,12 +7,14 @@ import textwrap
 import pytest
 
 from repro.devtools.engine import Edit, Finding, Fix, LintEngine
-from repro.devtools.fix import apply_fixes, fix_source, unified_diff
+from repro.devtools.fix import FixResult, apply_fixes, fix_source, unified_diff
 
 
 def fix(source: str, rule=None, module="repro.web.demo", path="src/repro/web/demo.py"):
     engine = LintEngine(select=[rule] if rule else None)
-    return fix_source(engine, textwrap.dedent(source), path, module)
+    result = fix_source(engine, textwrap.dedent(source), path, module)
+    assert isinstance(result, FixResult)
+    return result
 
 
 #: (rule, before, after) — one golden pair per fixable rule.

@@ -5,7 +5,7 @@ from __future__ import annotations
 import ast
 import textwrap
 
-from repro.devtools.flow import ModuleFlow
+from repro.devtools.flow import Definition, FlowGraph, ModuleFlow
 
 
 def flow_of(source: str) -> ModuleFlow:
@@ -235,3 +235,175 @@ class TestModuleTopLevel:
         (definition,) = flow.module_defs["REGISTRY"]
         uses = flow.uses_of(definition)
         assert len(uses) == 1
+
+
+class TestComprehensionScopes:
+    """Comprehensions are their own scope (PEP 709 notwithstanding): targets
+    must shadow outer bindings, except inside the first generator's iterable,
+    which Python evaluates in the enclosing scope."""
+
+    def test_target_shadows_module_binding(self):
+        flow = flow_of(
+            """
+            x = {1}
+            ys = [x for x in rows]
+            """
+        )
+        elt_use = name_loads(flow, "x")[0]
+        (definition,) = flow.definitions_for(elt_use)
+        assert isinstance(definition, Definition)
+        assert definition.kind == "comp"
+
+    def test_first_iterable_sees_the_enclosing_scope(self):
+        flow = flow_of(
+            """
+            x = [1]
+            ys = [x for x in x]
+            """
+        )
+        elt_use, iter_use = name_loads(flow, "x")
+        assert {d.kind for d in flow.definitions_for(elt_use)} == {"comp"}
+        (outer,) = flow.definitions_for(iter_use)
+        assert outer.kind == "assign"
+        assert isinstance(outer.value, ast.List)
+
+    def test_second_iterable_is_shadowed(self):
+        flow = flow_of(
+            """
+            x = [[1]]
+            ys = [y for x in rows for y in x]
+            """
+        )
+        (iter_use,) = name_loads(flow, "x")
+        assert {d.kind for d in flow.definitions_for(iter_use)} == {"comp"}
+
+    def test_nested_comprehension_resolves_to_outer_target(self):
+        flow = flow_of(
+            """
+            row = {1}
+            grid = [[cell for cell in row] for row in rows]
+            """
+        )
+        # The inner comprehension's first iterable reads the *outer*
+        # comprehension's target, not the module-level binding.
+        (use,) = name_loads(flow, "row")
+        assert {d.kind for d in flow.definitions_for(use)} == {"comp"}
+
+
+class TestLambdaScopes:
+    def test_lambda_parameter_shadows_module_binding(self):
+        flow = flow_of(
+            """
+            work = {1}
+            f = lambda work: work
+            """
+        )
+        (use,) = name_loads(flow, "work")
+        (definition,) = flow.definitions_for(use)
+        assert definition.kind == "param"
+
+    def test_lambda_free_variable_reaches_enclosing_function(self):
+        flow = flow_of(
+            """
+            def f():
+                base = {1}
+                return lambda y: base
+            """
+        )
+        (use,) = name_loads(flow, "base")
+        (definition,) = flow.definitions_for(use)
+        assert definition.kind == "assign"
+        assert isinstance(definition.value, ast.Set)
+
+
+class TestWalrusBindings:
+    def test_walrus_in_condition_reaches_the_body(self):
+        flow = flow_of(
+            """
+            def f(rows):
+                if (n := len(rows)) > 3:
+                    return n
+            """
+        )
+        (use,) = name_loads(flow, "n")
+        (definition,) = flow.definitions_for(use)
+        assert definition.kind == "assign"
+        assert isinstance(definition.value, ast.Call)
+
+    def test_walrus_inside_comprehension_binds_enclosing_scope(self):
+        flow = flow_of(
+            """
+            def f(rows):
+                totals = [total := len(row) for row in rows]
+                return total
+            """
+        )
+        use = name_loads(flow, "total")[-1]  # the read after the listcomp
+        defs = flow.definitions_for(use)
+        assert {d.kind for d in defs} == {"assign"}
+
+    def test_walrus_inside_nested_def_stays_local(self):
+        flow = flow_of(
+            """
+            def f(rows):
+                def g():
+                    return (m := 1)
+                return m
+            """
+        )
+        use = name_loads(flow, "m")[-1]  # the read in f, after g's body
+        assert flow.definitions_for(use) == set()
+
+
+class TestNestedDefScopes:
+    def test_inner_parameter_shadows_outer_binding(self):
+        flow = flow_of(
+            """
+            def outer():
+                item = {1}
+
+                def inner(item):
+                    return item
+            """
+        )
+        (use,) = name_loads(flow, "item")
+        assert {d.kind for d in flow.definitions_for(use)} == {"param"}
+
+    def test_inner_free_variable_reaches_outer_assignment(self):
+        flow = flow_of(
+            """
+            def outer():
+                acc = []
+
+                def inner(row):
+                    return acc
+            """
+        )
+        (use,) = name_loads(flow, "acc")
+        (definition,) = flow.definitions_for(use)
+        assert definition.kind == "assign"
+        assert isinstance(definition.value, ast.List)
+
+    def test_graph_for_builds_one_graph_per_scope(self):
+        flow = flow_of(
+            """
+            def outer():
+                x = 1
+
+                def inner():
+                    x = 2
+                    return x
+                return x
+            """
+        )
+        outer_graph = flow.graph_for(func_named(flow, "outer"))
+        inner_graph = flow.graph_for(func_named(flow, "inner"))
+        assert isinstance(outer_graph, FlowGraph)
+        assert isinstance(inner_graph, FlowGraph)
+        assert outer_graph is not inner_graph
+        # ast.walk is breadth-first: outer's shallower read comes first.
+        outer_use, inner_use = name_loads(flow, "x")
+        inner_value = next(iter(flow.definitions_for(inner_use))).value
+        outer_value = next(iter(flow.definitions_for(outer_use))).value
+        assert ast.literal_eval(inner_value) == 2
+        assert ast.literal_eval(outer_value) == 1

@@ -1,0 +1,232 @@
+"""CW5xx — hot-path performance rules."""
+
+from __future__ import annotations
+
+from .conftest import rule_ids
+
+
+class TestListMembershipInLoop:
+    def test_flags_the_classic_quadratic_dedupe(self, lint):
+        findings = lint(
+            """
+            def dedupe(rows):
+                out = []
+                for row in rows:
+                    if row in out:
+                        continue
+                    out.append(row)
+                return out
+            """,
+            rule="CW501",
+        )
+        assert rule_ids(findings) == ["CW501"]
+
+    def test_flags_membership_in_comprehension(self, lint):
+        findings = lint(
+            """
+            def keep(rows):
+                banned = ["a", "b"]
+                return [row for row in rows if row not in banned]
+            """,
+            rule="CW501",
+        )
+        assert rule_ids(findings) == ["CW501"]
+
+    def test_set_membership_is_fine(self, lint):
+        findings = lint(
+            """
+            def dedupe(rows):
+                seen = set()
+                out = []
+                for row in rows:
+                    if row in seen:
+                        continue
+                    seen.add(row)
+                    out.append(row)
+                return out
+            """,
+            rule="CW501",
+        )
+        assert findings == []
+
+    def test_membership_outside_a_loop_is_fine(self, lint):
+        findings = lint(
+            """
+            def has(row):
+                allowed = [1, 2, 3]
+                return row in allowed
+            """,
+            rule="CW501",
+        )
+        assert findings == []
+
+    def test_list_rebound_each_iteration_is_fine(self, lint):
+        findings = lint(
+            """
+            def group(rows):
+                for row in rows:
+                    batch = list(row)
+                    if row in batch:
+                        pass
+            """,
+            rule="CW501",
+        )
+        assert findings == []
+
+    def test_hot_layer_escalates_to_error(self, lint):
+        findings = lint(
+            """
+            def dedupe(rows):
+                out = []
+                for row in rows:
+                    if row in out:
+                        continue
+                    out.append(row)
+                return out
+            """,
+            rule="CW501",
+            module="repro.mining.agg",
+        )
+        assert [f.severity for f in findings] == ["error"]
+
+    def test_cold_layer_stays_warning(self, lint):
+        findings = lint(
+            """
+            def dedupe(rows):
+                out = []
+                for row in rows:
+                    if row in out:
+                        out.append(row)
+            """,
+            rule="CW501",
+            module="repro.report.tables",
+        )
+        assert [f.severity for f in findings] == ["warning"]
+
+
+class TestStringConcatInLoop:
+    def test_flags_string_accumulation(self, lint):
+        findings = lint(
+            """
+            def render(rows):
+                text = ""
+                for row in rows:
+                    text += str(row)
+                return text
+            """,
+            rule="CW502",
+        )
+        assert rule_ids(findings) == ["CW502"]
+
+    def test_numeric_accumulation_is_fine(self, lint):
+        findings = lint(
+            """
+            def total(rows):
+                acc = 0
+                for row in rows:
+                    acc += row
+                return acc
+            """,
+            rule="CW502",
+        )
+        assert findings == []
+
+    def test_concat_outside_a_loop_is_fine(self, lint):
+        findings = lint(
+            """
+            def greet(name):
+                text = "hello "
+                text += name
+                return text
+            """,
+            rule="CW502",
+        )
+        assert findings == []
+
+
+class TestRegexCompileInLoop:
+    def test_flags_constant_pattern_in_loop(self, lint):
+        findings = lint(
+            """
+            import re
+
+            def scan(lines):
+                for line in lines:
+                    rx = re.compile("x+")
+                    rx.search(line)
+            """,
+            rule="CW503",
+        )
+        assert rule_ids(findings) == ["CW503"]
+
+    def test_dynamic_pattern_is_fine(self, lint):
+        findings = lint(
+            """
+            import re
+
+            def scan(lines, patterns):
+                for pattern in patterns:
+                    re.compile(pattern)
+            """,
+            rule="CW503",
+        )
+        assert findings == []
+
+    def test_module_level_compile_is_fine(self, lint):
+        findings = lint(
+            """
+            import re
+
+            RX = re.compile("x+")
+            """,
+            rule="CW503",
+        )
+        assert findings == []
+
+
+class TestInvariantSortInLoop:
+    def test_flags_loop_invariant_sort(self, lint):
+        findings = lint(
+            """
+            def nearest(queries, stations):
+                for query in queries:
+                    ordered = sorted(stations)
+                    yield ordered[0]
+            """,
+            rule="CW504",
+        )
+        assert rule_ids(findings) == ["CW504"]
+
+    def test_sorting_a_mutated_list_is_fine(self, lint):
+        findings = lint(
+            """
+            def accumulate(rows):
+                acc = []
+                for row in rows:
+                    acc.append(row)
+                    yield sorted(acc)
+            """,
+            rule="CW504",
+        )
+        assert findings == []
+
+    def test_loop_dependent_key_is_fine(self, lint):
+        findings = lint(
+            """
+            def rank(queries, stations):
+                for query in queries:
+                    yield sorted(stations, key=lambda s: s - query)
+            """,
+            rule="CW504",
+        )
+        assert findings == []
+
+    def test_comprehension_source_iterable_is_exempt(self, lint):
+        findings = lint(
+            """
+            def pick(traces):
+                return {d: traces[d] for d in sorted(traces)[:22]}
+            """,
+            rule="CW504",
+        )
+        assert findings == []
