@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""CI smoke: structural assertions on the freshly-written bench reports.
+
+Runs right after ``python -m repro.bench --scale smoke`` in the bench-smoke
+job and checks the *shape* of what the runners measured — never wall-clock
+thresholds, which a loaded CI runner can miss arbitrarily:
+
+1. ``BENCH_mining.json`` carries the interned miner row, and its recorded
+   speedup over the reference core is > 1 (the runners already asserted
+   bit-for-bit output parity before timing anything);
+2. the report carries the representation's memory side — the
+   ``db_build_object`` / ``db_build_interned`` rows with schema-v3
+   ``peak_tracemalloc_kb`` and ``bytes_per_sequence`` measurements;
+3. the interned representation meets the acceptance bar: its bytes per
+   sequence are at most 1/4 of the object representation's.  Byte sizes
+   are structural, so this holds at any scale on any runner.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bench import BENCH_MINING_FILENAME, BenchReport
+
+MAX_INTERNED_BYTES_RATIO = 0.25
+
+
+def main(argv=None) -> int:
+    out_dir = Path((argv or sys.argv[1:] or ["bench-out"])[0])
+    path = out_dir / BENCH_MINING_FILENAME
+    report = BenchReport.load(path)
+
+    interned = report.row("modified_prefixspan_interned")
+    assert interned.speedup_vs_serial > 1.0, (
+        f"interned miner did not beat the reference core "
+        f"(speedup {interned.speedup_vs_serial})"
+    )
+
+    obj = report.row("db_build_object")
+    mem = report.row("db_build_interned")
+    for row in (obj, mem):
+        assert row.peak_tracemalloc_kb and row.peak_tracemalloc_kb > 0, (
+            f"{row.name}: missing peak_tracemalloc_kb measurement"
+        )
+        assert row.bytes_per_sequence and row.bytes_per_sequence > 0, (
+            f"{row.name}: missing bytes_per_sequence measurement"
+        )
+
+    ratio = mem.bytes_per_sequence / obj.bytes_per_sequence
+    assert ratio <= MAX_INTERNED_BYTES_RATIO, (
+        f"interned DB is {ratio:.2f}x the object representation per "
+        f"sequence; the bar is {MAX_INTERNED_BYTES_RATIO}"
+    )
+
+    print(
+        f"bench smoke OK: miner speedup {interned.speedup_vs_serial:.2f}x, "
+        f"memory {obj.bytes_per_sequence:.1f} -> {mem.bytes_per_sequence:.1f} "
+        f"bytes/seq ({1 / ratio:.2f}x smaller)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

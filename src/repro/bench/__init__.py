@@ -16,6 +16,7 @@ from .runner import (
     BENCH_OBS_FILENAME,
     BENCH_PIPELINE_FILENAME,
     SCALES,
+    run_interning_bench,
     run_mining_bench,
     run_obs_overhead_bench,
     run_pipeline_bench,
@@ -31,6 +32,7 @@ __all__ = [
     "BenchReport",
     "BenchRow",
     "SCALES",
+    "run_interning_bench",
     "run_mining_bench",
     "run_obs_overhead_bench",
     "run_pipeline_bench",

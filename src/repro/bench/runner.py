@@ -4,10 +4,14 @@ Each runner generates a deterministic synthetic dataset for the requested
 scale, times the competing implementations, and returns a
 :class:`~repro.bench.schema.BenchReport`:
 
-* :func:`run_mining_bench` — the phase-2 algorithmic core: indexed
-  :func:`~repro.mining.modified.modified_prefixspan` vs. the pool-rescan
-  :func:`~repro.mining.modified.modified_prefixspan_reference`, on the
-  busiest user's day database (ops = mining runs completed).
+* :func:`run_mining_bench` — the phase-2 algorithmic core: the interned
+  indexed :func:`~repro.mining.modified.modified_prefixspan` vs. the
+  pool-rescan :func:`~repro.mining.modified.modified_prefixspan_reference`,
+  on the busiest user's day database (ops = mining runs completed), plus
+  the interning memory rows of :func:`run_interning_bench`.
+* :func:`run_interning_bench` — database-build memory before/after
+  interning: the retired tuple-of-items representation vs. the id-array
+  representation, with tracemalloc peaks and deep-walked bytes/sequence.
 * :func:`run_pipeline_bench` — the execution layer:
   :func:`~repro.patterns.detect_all_patterns` serial vs. the process
   backend at several worker counts (ops = users mined).
@@ -29,7 +33,9 @@ from __future__ import annotations
 
 import os
 import subprocess
+import sys
 import time
+import tracemalloc
 from datetime import date
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -43,7 +49,7 @@ from ..mining import (
 )
 from ..obs import NULL_OBSERVER, observed, set_observer
 from ..patterns import detect_all_patterns
-from ..sequences import build_all_databases
+from ..sequences import TimedItem, build_all_databases
 from ..taxonomy import build_default_taxonomy
 from .schema import BenchReport, BenchRow
 
@@ -52,6 +58,7 @@ __all__ = [
     "BENCH_OBS_FILENAME",
     "BENCH_PIPELINE_FILENAME",
     "SCALES",
+    "run_interning_bench",
     "run_mining_bench",
     "run_obs_overhead_bench",
     "run_pipeline_bench",
@@ -152,14 +159,140 @@ def _time(fn, repeats: int) -> Tuple[float, object]:
     return best, value
 
 
+def _deep_size_bytes(root: object) -> int:
+    """Resident size of an object graph in bytes (shared objects once).
+
+    An iterative ``sys.getsizeof`` walk over containers, instance dicts and
+    slots, deduplicated by object identity — so representations that share
+    item instances (interned vocabularies) are credited for the sharing.
+    """
+    seen = set()
+    stack = [root]
+    total = 0
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        total += sys.getsizeof(obj)
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        else:
+            obj_dict = getattr(obj, "__dict__", None)
+            if obj_dict is not None:
+                stack.append(obj_dict)
+            for slot in getattr(type(obj), "__slots__", ()):
+                if hasattr(obj, slot):
+                    stack.append(getattr(obj, slot))
+    return total
+
+
+def _traced(fn) -> Tuple[float, float, object]:
+    """(wall seconds, tracemalloc peak in KiB, return value) of one call."""
+    tracemalloc.start()
+    try:
+        t0 = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return elapsed, peak / 1024.0, value
+
+
+def _interning_rows(scale: str) -> Tuple[BenchRow, BenchRow]:
+    """Database-build memory rows: object representation vs. interned.
+
+    Builds the dataset's per-user databases (interned id arrays + shared
+    vocabulary), then materializes the same data the retired way — one
+    fresh :class:`TimedItem` per occurrence in tuples-of-tuples — and
+    measures both sides' tracemalloc build peak and deep-walked steady
+    bytes per sequence.  The object row is the baseline (speedup 1.0).
+    """
+    synth = _config_for(scale)
+    taxonomy = build_default_taxonomy()
+    dataset = generate(synth).dataset
+
+    interned_s, interned_peak_kb, databases = _traced(
+        lambda: build_all_databases(dataset, taxonomy)
+    )
+    storage_all = [db.storage for db in databases.values()]
+    n_sequences = sum(len(db) for db in databases.values()) or 1
+    user_ids = sorted(databases)
+    vocab = databases[user_ids[0]].vocab if user_ids else None
+
+    def materialize_objects() -> List:
+        worlds = []
+        for db in databases.values():
+            decode = vocab.decode_sequence
+            worlds.append(
+                tuple(
+                    tuple(TimedItem(item.bin, item.label) for item in decode(arr))
+                    for arr in db.encoded
+                )
+            )
+        return worlds
+
+    object_s, object_peak_kb, object_worlds = _traced(materialize_objects)
+    object_bytes = _deep_size_bytes(object_worlds)
+    interned_bytes = _deep_size_bytes((storage_all, vocab))
+    del object_worlds
+    return (
+        BenchRow(
+            name="db_build_object",
+            wall_clock_s=object_s,
+            ops_per_sec=n_sequences / object_s if object_s else 0.0,
+            speedup_vs_serial=1.0,
+            peak_tracemalloc_kb=object_peak_kb,
+            bytes_per_sequence=object_bytes / n_sequences,
+        ),
+        BenchRow(
+            name="db_build_interned",
+            wall_clock_s=interned_s,
+            ops_per_sec=n_sequences / interned_s if interned_s else 0.0,
+            speedup_vs_serial=object_s / interned_s if interned_s else 0.0,
+            peak_tracemalloc_kb=interned_peak_kb,
+            bytes_per_sequence=interned_bytes / n_sequences,
+        ),
+    )
+
+
+def run_interning_bench(
+    scale: str = "bench", repeats: int = 1, git_rev: Optional[str] = None
+) -> BenchReport:
+    """Measure database-build memory before vs. after interning.
+
+    ``repeats`` is accepted for CLI symmetry but memory peaks are
+    deterministic per build, so one build per variant is measured.
+    """
+    synth = _config_for(scale)
+    rows = _interning_rows(scale)
+    rev, dirty = _stamp(git_rev)
+    return BenchReport(
+        benchmark="interning",
+        scale=scale,
+        seed=synth.seed,
+        git_rev=rev,
+        n_cpus=_available_cpus(),
+        rows=rows,
+        dirty=dirty,
+    )
+
+
 def run_mining_bench(
     scale: str = "bench", repeats: int = 1, git_rev: Optional[str] = None
 ) -> BenchReport:
-    """Time the indexed miner against the reference core on one busy user.
+    """Time the interned indexed miner against the reference core.
 
     Both variants run the paper's support sweep (0.25 / 0.5 / 0.75) on the
     busiest user's day database; their outputs are asserted identical, so a
-    speedup can never come from mining less.
+    speedup can never come from mining less.  The report also carries the
+    interning memory rows (``db_build_object`` / ``db_build_interned``) so
+    one ``BENCH_mining.json`` captures both the time and the space side of
+    the representation.
     """
     synth = _config_for(scale)
     taxonomy = build_default_taxonomy()
@@ -169,7 +302,7 @@ def run_mining_bench(
     db = databases[busiest]
     configs = [ModifiedPrefixSpanConfig(min_support=s) for s in (0.25, 0.5, 0.75)]
 
-    def run_indexed() -> List:
+    def run_interned() -> List:
         return [modified_prefixspan(db, cfg, taxonomy) for cfg in configs]
 
     def run_reference() -> List:
@@ -179,12 +312,12 @@ def run_mining_bench(
         with o.span("bench.modified_prefixspan_reference", scale=scale,
                     repeats=repeats):
             reference_s, reference_out = _time(run_reference, repeats)
-        with o.span("bench.modified_prefixspan_indexed", scale=scale,
+        with o.span("bench.modified_prefixspan_interned", scale=scale,
                     repeats=repeats):
-            indexed_s, indexed_out = _time(run_indexed, repeats)
-    if indexed_out != reference_out:
+            interned_s, interned_out = _time(run_interned, repeats)
+    if interned_out != reference_out:
         raise AssertionError(
-            "indexed and reference miners disagree — refusing to report a "
+            "interned and reference miners disagree — refusing to report a "
             "speedup over different output"
         )
     ops = float(len(configs))
@@ -196,12 +329,12 @@ def run_mining_bench(
             speedup_vs_serial=1.0,
         ),
         BenchRow(
-            name="modified_prefixspan_indexed",
-            wall_clock_s=indexed_s,
-            ops_per_sec=ops / indexed_s if indexed_s else 0.0,
-            speedup_vs_serial=reference_s / indexed_s if indexed_s else 0.0,
+            name="modified_prefixspan_interned",
+            wall_clock_s=interned_s,
+            ops_per_sec=ops / interned_s if interned_s else 0.0,
+            speedup_vs_serial=reference_s / interned_s if interned_s else 0.0,
         ),
-    )
+    ) + _interning_rows(scale)
     rev, dirty = _stamp(git_rev)
     return BenchReport(
         benchmark="mining",

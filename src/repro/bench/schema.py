@@ -12,6 +12,11 @@ Schema history
   written?) and ``trace`` (the run's exported span trees from
   :mod:`repro.obs`, empty when observability was off).  v1 payloads still
   load, with ``dirty=False`` and an empty trace.
+* **v3** — rows gain optional memory measurements:
+  ``peak_tracemalloc_kb`` (tracemalloc peak while the variant ran) and
+  ``bytes_per_sequence`` (deep-walked resident size of the variant's data
+  representation per stored sequence).  Both are omitted from the payload
+  when absent, so v1/v2 payloads still load unchanged.
 """
 
 from __future__ import annotations
@@ -19,15 +24,15 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 __all__ = ["BENCH_SCHEMA_VERSION", "BenchReport", "BenchRow"]
 
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 #: Schema versions ``from_dict`` still understands; older versions get
 #: defaults for the fields they predate.
-_COMPATIBLE_SCHEMAS = (1, 2)
+_COMPATIBLE_SCHEMAS = (1, 2, 3)
 
 
 @dataclass(frozen=True)
@@ -38,34 +43,55 @@ class BenchRow:
     for the miner bench, users mined for the pipeline bench) per wall-clock
     second; ``speedup_vs_serial`` is relative to the run's serial baseline
     row (the baseline itself reports 1.0).
+
+    ``peak_tracemalloc_kb`` and ``bytes_per_sequence`` (schema v3) are
+    memory measurements for variants where allocation matters — the
+    interning rows record the tracemalloc peak while building the sequence
+    databases and the deep-walked size of the resulting representation per
+    sequence.  ``None`` (the default) means "not measured" and is omitted
+    from the serialized payload.
     """
 
     name: str
     wall_clock_s: float
     ops_per_sec: float
     speedup_vs_serial: float
+    peak_tracemalloc_kb: Optional[float] = None
+    bytes_per_sequence: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a bench row needs a name")
         if self.wall_clock_s < 0 or self.ops_per_sec < 0 or self.speedup_vs_serial < 0:
             raise ValueError("bench measurements must be non-negative")
+        for value in (self.peak_tracemalloc_kb, self.bytes_per_sequence):
+            if value is not None and value < 0:
+                raise ValueError("bench memory measurements must be non-negative")
 
     def to_dict(self) -> Dict:
-        return {
+        payload = {
             "name": self.name,
             "wall_clock_s": round(self.wall_clock_s, 6),
             "ops_per_sec": round(self.ops_per_sec, 4),
             "speedup_vs_serial": round(self.speedup_vs_serial, 4),
         }
+        if self.peak_tracemalloc_kb is not None:
+            payload["peak_tracemalloc_kb"] = round(self.peak_tracemalloc_kb, 2)
+        if self.bytes_per_sequence is not None:
+            payload["bytes_per_sequence"] = round(self.bytes_per_sequence, 2)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "BenchRow":
+        peak = payload.get("peak_tracemalloc_kb")
+        per_seq = payload.get("bytes_per_sequence")
         return cls(
             name=str(payload["name"]),
             wall_clock_s=float(payload["wall_clock_s"]),
             ops_per_sec=float(payload["ops_per_sec"]),
             speedup_vs_serial=float(payload["speedup_vs_serial"]),
+            peak_tracemalloc_kb=None if peak is None else float(peak),
+            bytes_per_sequence=None if per_seq is None else float(per_seq),
         )
 
 

@@ -133,15 +133,21 @@ class CrowdAggregator:
     # ----------------------------------------------------------- aggregates
 
     def cell_occupancy_matrix(self, bins_per_window: int = 1) -> Dict[CellIndex, List[int]]:
-        """Per-cell occupancy across all windows (cells ever occupied only)."""
+        """Per-cell occupancy across all windows (cells ever occupied only).
+
+        Cells are interned to dense column ids for the fill, so each window
+        costs one pass over its *occupied* cells instead of a dict probe per
+        (window × ever-occupied cell); the returned mapping is unchanged.
+        """
         timeline = self.timeline(bins_per_window)
-        cells = sorted({cell for snap in timeline for cell in snap.cell_counts()})
-        matrix: Dict[CellIndex, List[int]] = {cell: [] for cell in cells}
-        for snap in timeline:
-            counts = snap.cell_counts()
-            for cell in cells:
-                matrix[cell].append(counts.get(cell, 0))
-        return matrix
+        window_counts = [snap.cell_counts() for snap in timeline]
+        cells = sorted({cell for counts in window_counts for cell in counts})
+        cell_id = {cell: i for i, cell in enumerate(cells)}
+        columns = [[0] * len(window_counts) for _ in cells]
+        for window_index, counts in enumerate(window_counts):
+            for cell, count in counts.items():
+                columns[cell_id[cell]][window_index] = count
+        return {cell: columns[i] for i, cell in enumerate(cells)}
 
     def busiest_window(self) -> CrowdSnapshot:
         """The window with the largest placed crowd."""

@@ -10,6 +10,7 @@ location for that bin.
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -27,6 +28,13 @@ __all__ = ["UserPlacement", "VisitIndex", "place_user", "place_user_at_bins"]
 class UserPlacement:
     """One user's expected presence at one time bin."""
 
+    # Crowd timelines materialize one of these per user per window; slots
+    # keep the per-record cost flat (no instance __dict__).
+    __slots__ = (
+        "user_id", "bin", "label", "support", "cell", "venue_id",
+        "lat", "lon", "n_evidence",
+    )
+
     user_id: str
     bin: int
     label: str
@@ -37,15 +45,41 @@ class UserPlacement:
     lon: float
     n_evidence: int  # historical check-ins backing this placement
 
+    # With __slots__ the default pickle path restores state via setattr,
+    # which the frozen dataclass forbids; route it around the freeze.
+    def __getstate__(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __setstate__(self, state) -> None:
+        for name, value in zip(self.__slots__, state):
+            object.__setattr__(self, name, value)
+
 
 class VisitIndex:
     """Per-user historical visit evidence, indexed for placement queries.
 
-    Every check-in is stored as (bin, label-name-set, cell, venue, lat/lon)
-    where the label set contains the venue's leaf category plus all its
-    taxonomy ancestors — so a pattern item at any abstraction level can find
-    its supporting visits with one set lookup.
+    Conceptually every check-in is (bin, label-name-set, cell, venue,
+    lat/lon), where the label set contains the venue's leaf category plus
+    all its taxonomy ancestors — so a pattern item at any abstraction level
+    can find its supporting visits with one membership test.
+
+    The storage is interned: labels become bit positions (a record's name
+    set is one int bitmask), microcells and venue ids become dense ints
+    into shared decode tables, and each user's records live in parallel
+    typed arrays.  :meth:`evidence` therefore scans ints and floats only,
+    decoding cells/venues back to objects just for the hits it returns.
     """
+
+    __slots__ = (
+        "grid",
+        "binning",
+        "_label_bits",
+        "_cells",
+        "_cell_ids",
+        "_venues",
+        "_venue_ids",
+        "_records",
+    )
 
     def __init__(
         self,
@@ -56,22 +90,58 @@ class VisitIndex:
     ) -> None:
         self.grid = grid
         self.binning = binning
-        self._records: Dict[str, List[Tuple[int, FrozenSet[str], CellIndex, str, float, float]]] = {}
-        label_cache: Dict[str, FrozenSet[str]] = {}
+        #: label name → bit position in record masks (first-seen order;
+        #: internal only, never exposed, so insertion order is fine).
+        self._label_bits: Dict[str, int] = {}
+        self._cells: List[CellIndex] = []
+        self._cell_ids: Dict[CellIndex, int] = {}
+        self._venues: List[str] = []
+        self._venue_ids: Dict[str, int] = {}
+        # user → (bins, label masks, cell ids, venue ids, lats, lons),
+        # parallel per-record arrays in dataset order.
+        self._records: Dict[str, Tuple[array, List[int], array, array, array, array]] = {}
+        mask_cache: Dict[str, int] = {}
+        cell_ids = self._cell_ids
+        cells = self._cells
+        venue_ids = self._venue_ids
+        venues = self._venues
+        per_user: Dict[str, Tuple[List[int], List[int], List[int], List[int], List[float], List[float]]] = {}
         for record in dataset:
-            names = label_cache.get(record.category_name)
-            if names is None:
+            mask = mask_cache.get(record.category_name)
+            if mask is None:
                 names = self._label_names(taxonomy, record.category_id, record.category_name)
-                label_cache[record.category_name] = names
-            entry = (
-                binning.bin_of(record.local_time),
-                names,
-                grid.cell_index_clamped(record.lat, record.lon),
-                record.venue_id,
-                record.lat,
-                record.lon,
+                mask = 0
+                for name in sorted(names):
+                    bit = self._label_bits.setdefault(name, len(self._label_bits))
+                    mask |= 1 << bit
+                mask_cache[record.category_name] = mask
+            cell = grid.cell_index_clamped(record.lat, record.lon)
+            cell_id = cell_ids.get(cell)
+            if cell_id is None:
+                cell_id = cell_ids[cell] = len(cells)
+                cells.append(cell)
+            venue_id = venue_ids.get(record.venue_id)
+            if venue_id is None:
+                venue_id = venue_ids[record.venue_id] = len(venues)
+                venues.append(record.venue_id)
+            columns = per_user.get(record.user_id)
+            if columns is None:
+                columns = per_user[record.user_id] = ([], [], [], [], [], [])
+            columns[0].append(binning.bin_of(record.local_time))
+            columns[1].append(mask)
+            columns[2].append(cell_id)
+            columns[3].append(venue_id)
+            columns[4].append(record.lat)
+            columns[5].append(record.lon)
+        for user_id, (bins, masks, cids, vids, lats, lons) in per_user.items():
+            self._records[user_id] = (
+                array("i", bins),
+                masks,  # Python ints: masks outgrow fixed-width typecodes
+                array("i", cids),
+                array("i", vids),
+                array("d", lats),
+                array("d", lons),
             )
-            self._records.setdefault(record.user_id, []).append(entry)
 
     @staticmethod
     def _label_names(
@@ -90,14 +160,24 @@ class VisitIndex:
         self, user_id: str, bin_index: int, label: str, tolerance: int = 0
     ) -> List[Tuple[CellIndex, str, float, float]]:
         """Historical visits matching (bin ± tolerance, label) for a user."""
+        columns = self._records.get(user_id)
+        if columns is None:
+            return []
+        bit = self._label_bits.get(label)
+        if bit is None:
+            return []  # label never observed anywhere: nothing can match
         n_bins = self.binning.n_bins
+        bins, masks, cell_ids, venue_ids, lats, lons = columns
+        cells = self._cells
+        venues = self._venues
         hits = []
-        for rec_bin, names, cell, venue_id, lat, lon in self._records.get(user_id, ()):
+        for i, rec_bin in enumerate(bins):
             d = abs(rec_bin - bin_index)
             if min(d, n_bins - d) > tolerance:
                 continue
-            if label in names:
-                hits.append((cell, venue_id, lat, lon))
+            if (masks[i] >> bit) & 1:
+                # Boundary decode: only matching records are materialized.
+                hits.append((cells[cell_ids[i]], venues[venue_ids[i]], lats[i], lons[i]))
         return hits
 
 

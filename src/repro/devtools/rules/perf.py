@@ -13,6 +13,11 @@ accidentally-linear-per-iteration) shapes that profile reviews keep finding:
   is loop-invariant; hoist it to module level.
 * **CW504** — ``sorted(xs)`` inside a loop over an ``xs`` the loop never
   changes: the sort is loop-invariant; hoist it.
+* **CW505** — ``TimedItem(...)`` constructed inside a mining/crowd loop
+  body: those layers operate on the interned id representation (see
+  ``repro.sequences.vocab``); boxing an item per iteration is exactly the
+  allocation the interning refactor removed.  Decode at the boundary via
+  the vocabulary instead.
 
 Findings in the hot layers (``mining``, ``crowd``, ``exec``) escalate to
 ``error`` severity; elsewhere they stay warnings.  All four rules are
@@ -302,4 +307,42 @@ class InvariantSortInLoopRule(Rule):
             f"sorted({node.args[0].id}) is loop-invariant here — the loop "
             f"never changes {node.args[0].id!r}; sort once before the loop",
             severity=hot_severity(ctx),
+        )
+
+
+#: Layers whose inner loops must stay on the interned id representation.
+_INTERNED_LAYERS = frozenset({"mining", "crowd"})
+
+
+@register
+class TimedItemInHotLoopRule(Rule):
+    id = "CW505"
+    name = "timeditem-in-hot-loop"
+    description = (
+        "TimedItem(...) constructed inside a mining/crowd loop body boxes "
+        "an item per iteration; those layers run on interned int ids — "
+        "decode at the boundary via the vocabulary instead."
+    )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            callee = func.id
+        elif isinstance(func, ast.Attribute):
+            callee = func.attr
+        else:
+            return
+        if callee != "TimedItem":
+            return
+        if layer_of(ctx.module) not in _INTERNED_LAYERS:
+            return
+        if enclosing_loop(ctx, node) is None:
+            return
+        ctx.report(
+            self,
+            node,
+            "TimedItem(...) inside a mining/crowd loop allocates a boxed "
+            "item per iteration; operate on interned ids and decode once "
+            "at the boundary (ItemVocab.decode)",
+            severity="error",
         )

@@ -11,42 +11,58 @@ after, which is a cheap position filter.
 
 :class:`MatchIndex` therefore precomputes, once per user database,
 
-``candidate → {sequence index → sorted match positions}``
+``candidate id → {sequence index → sorted match positions}``
 
-by a single pass over the sequence items: each item ``(bin, label)`` matches
-exactly the candidates ``(b, L)`` with ``L`` among the item label's taxonomy
-ancestors (including itself) and ``b`` within the circular time tolerance of
-``bin``.  Enumerating those directly costs
-``O(total_items × |ancestors| × (2·tol + 1))`` — independent of the recursion
-depth — instead of ``O(|pool| × total_items)`` per recursion node.
+by a single pass over the interned sequence ids: each distinct item id
+matches exactly the candidates ``(b, L)`` with ``L`` among the item label's
+taxonomy ancestors (including itself) and ``b`` within the circular time
+tolerance of the item's bin.  Enumerating those costs
+``O(distinct_items × |ancestors| × (2·tol + 1))`` plus one O(1) table append
+per occurrence — independent of the recursion depth — instead of
+``O(|pool| × total_items)`` per recursion node.
 
-At grow time the miner then
+Interned representation (this is the hot path)
+----------------------------------------------
+Everything the grow loop touches is an int:
 
-* iterates only candidates that occur in the projected sequences at all
-  (via the per-sequence candidate lists), never the global pool;
-* prunes a candidate as soon as its remaining possible supporters cannot
-  reach ``min_count`` (the remaining-support upper bound);
-* resolves admissible match positions with a binary search over the sorted
-  position list instead of rescanning the postfix.
+* **Candidate ids** are dense ints from a private :class:`ItemVocab` built
+  over the candidate pool.  Because the vocabulary sorts timed items by
+  ``(label, bin)``, *candidate id order is exactly*
+  :func:`~repro.mining.base.candidate_sort_key` *order* — sorting plain ints
+  reproduces the reference miner's canonical expansion order for free.
+* **Position sets are int bitmasks**: bit ``p`` set means "resume at
+  position ``p``".  User-day sequences are short (tens of items), so a
+  whole projection entry packs into one machine word — union is ``|``,
+  emptiness is ``== 0``, and the minimum start is one bit trick.  (For
+  databases whose sequences overflow word packing the masks degrade
+  gracefully to Python long ints; a ``frozenset[int]`` variant benchmarked
+  slower at every realistic sequence length, see docs/performance.md.)
+* **Suffix masks are precomputed per (candidate, sequence)**: one backward
+  pass builds the resume mask for *every* suffix offset at once, so the
+  gap-free fast path is a binary search plus a list index — no set or mask
+  is ever rebuilt at grow time.
 
 The index is only ever consulted for candidates drawn from the same global
 pool the reference miner uses (observed ``(bin, ancestor-label)`` items), so
-the mined output is bit-for-bit identical.
+the mined output — decoded back to :class:`TimedItem` at the emission
+boundary — is bit-for-bit identical.
 """
 
 from __future__ import annotations
 
+import weakref
+from array import array
 from bisect import bisect_left
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from ..sequences.database import SequenceDatabase
 from ..sequences.items import TimedItem
+from ..sequences.vocab import ItemVocab
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .modified import FlexibleMatcher
 
 __all__ = ["MatchIndex", "build_match_index"]
-
-_EMPTY: FrozenSet[int] = frozenset()
 
 
 class MatchIndex:
@@ -54,32 +70,60 @@ class MatchIndex:
 
     Parameters
     ----------
-    sequences:
-        The database's item sequences (one per user-day).
+    encoded:
+        The database's interned sequences (one ``array('i')`` of item ids
+        per user-day).
+    vocab:
+        The :class:`ItemVocab` those ids refer to.
     matcher:
         The flexible matcher whose ``matches`` predicate the index inverts.
         Matching must be prefix-independent (it is: time tolerance and label
         ancestry look at one item only).
     """
 
-    __slots__ = ("sequences", "pool", "positions", "seq_candidates", "_suffix_cache")
+    __slots__ = (
+        "seq_lens",
+        "vocab",
+        "candidate_vocab",
+        "candidate_items",
+        "positions",
+        "seq_candidates",
+        "seq_bins",
+        "n_matched",
+        "_suffix_masks",
+    )
 
     def __init__(
-        self, sequences: Sequence[Tuple[TimedItem, ...]], matcher: "FlexibleMatcher"
+        self,
+        encoded: Sequence[array],
+        vocab: ItemVocab[TimedItem],
+        matcher: "FlexibleMatcher",
     ) -> None:
-        self.sequences: Tuple[Tuple[TimedItem, ...], ...] = tuple(sequences)
+        encoded: Tuple[array, ...] = (
+            encoded if isinstance(encoded, tuple) else tuple(encoded)
+        )
+        #: Per-sequence lengths — all the index needs from the raw data
+        #: after construction (the arrays themselves are not retained).
+        self.seq_lens: array = array("i", [len(arr) for arr in encoded])
+        self.vocab = vocab
 
         # The candidate pool mirrors the reference miner exactly: every
         # observed item plus its taxonomy-ancestor relabelings, at the
         # *observed* bin (time tolerance widens matching, not the pool).
+        distinct_ids: Set[int] = set()
+        for arr in encoded:
+            distinct_ids.update(arr)
         pool: Set[TimedItem] = set()
-        distinct: Set[TimedItem] = set()
-        for seq in self.sequences:
-            for item in seq:
-                if item not in distinct:
-                    distinct.add(item)
-                    pool.update(matcher.candidates_for(item))
-        self.pool: FrozenSet[TimedItem] = frozenset(pool)
+        decode = vocab.decode
+        for item_id in distinct_ids:
+            pool.update(matcher.candidates_for(decode(item_id)))
+
+        #: Candidate pool interned to dense ids; (label, bin)-sorted, so id
+        #: order *is* candidate_sort_key order.
+        self.candidate_vocab: ItemVocab[TimedItem] = ItemVocab(pool)
+        #: id → shared TimedItem instance (the decode table for emission).
+        self.candidate_items: Tuple[TimedItem, ...] = self.candidate_vocab.items
+        n_candidates = len(self.candidate_items)
 
         # Circular tolerance offsets, deduplicated (2·tol+1 may wrap past
         # n_bins, in which case every bin is within tolerance).
@@ -90,145 +134,201 @@ class MatchIndex:
         else:
             offsets = tuple(sorted({d % n_bins for d in range(-tol, tol + 1)}))
 
-        # Per *distinct* item, the pool candidates matching it: candidates
-        # (bin ± tol, ancestor-of-label) — item vocabularies are tiny
-        # compared to total occurrences, so resolving the tolerance window
-        # and ancestor chain once per distinct item is nearly free.
-        matched_by: Dict[TimedItem, Tuple[TimedItem, ...]] = {}
+        # Per *distinct* item id, the pool candidate ids matching it:
+        # candidates (bin ± tol, ancestor-of-label) — item vocabularies are
+        # tiny compared to total occurrences, so resolving the tolerance
+        # window and ancestor chain once per distinct item is nearly free.
+        encode_candidate = self.candidate_vocab.get
+        matched_by: Dict[int, array] = {}
         # matched_by is consumed by key lookup only, and each item's candidate
-        # tuple is built deterministically, so hash order here is unobservable.
-        for item in distinct:  # crowdlint: disable=CW203
-            seen: Set[TimedItem] = set()
-            candidates: List[TimedItem] = []
+        # array is built deterministically, so hash order here is unobservable.
+        for item_id in distinct_ids:  # crowdlint: disable=CW203
+            item = decode(item_id)
+            seen: Set[int] = set()
+            candidate_ids: List[int] = []
+            item_bin = item.bin
+            # Boundary decode/re-encode: runs once per *distinct* item at
+            # build time, never per occurrence or per recursion node.
             for label in matcher._ancestors_of(item.label):
                 for offset in offsets:
-                    candidate = TimedItem((item.bin + offset) % n_bins, label)
-                    if candidate in pool and candidate not in seen:
-                        seen.add(candidate)
-                        candidates.append(candidate)
-            matched_by[item] = tuple(candidates)
+                    # This *is* the sanctioned boundary decode (see the
+                    # comment above): once per distinct item at build time.
+                    cid = encode_candidate(TimedItem((item_bin + offset) % n_bins, label))  # crowdlint: disable=CW505
+                    if cid >= 0 and cid not in seen:
+                        seen.add(cid)
+                        candidate_ids.append(cid)
+            matched_by[item_id] = array("i", candidate_ids)
 
         # One pass over the data records each occurrence's position under
         # every candidate it realizes.  Each candidate appears at most once
         # per occurrence (deduped above), so position lists come out
         # strictly increasing.
-        grouped: Dict[TimedItem, Dict[int, List[int]]] = {}
-        for seq_index, seq in enumerate(self.sequences):
-            for position, item in enumerate(seq):
-                for candidate in matched_by[item]:
-                    per_seq = grouped.setdefault(candidate, {})
+        positions: List[Dict[int, List[int]]] = [{} for _ in range(n_candidates)]
+        for seq_index, arr in enumerate(encoded):
+            for position, item_id in enumerate(arr):
+                for cid in matched_by[item_id]:
+                    per_seq = positions[cid]
                     plist = per_seq.get(seq_index)
                     if plist is None:
                         per_seq[seq_index] = [position]
                     else:
                         plist.append(position)
 
-        #: candidate → {sequence index → strictly increasing match positions}.
-        self.positions: Dict[TimedItem, Dict[int, List[int]]] = grouped
+        #: candidate id → {sequence index → strictly increasing positions}.
+        self.positions: Tuple[Dict[int, List[int]], ...] = tuple(positions)
+        #: Candidates with at least one match anywhere (pool entries whose
+        #: bin/label combination never occurs stay unmatched).
+        self.n_matched: int = sum(1 for per_seq in positions if per_seq)
 
-        #: sequence index → candidates with at least one match in it, in a
-        #: fixed (but arbitrary) order — the grow-time tally iterates these.
-        seq_candidates: List[List[TimedItem]] = [[] for _ in self.sequences]
-        for candidate, per_seq in self.positions.items():
+        #: sequence index → candidate ids with at least one match in it, in
+        #: ascending id order — the grow-time tally iterates these.
+        seq_candidates: List[List[int]] = [[] for _ in encoded]
+        for cid, per_seq in enumerate(positions):
             for seq_index in per_seq:
-                seq_candidates[seq_index].append(candidate)
-        self.seq_candidates: Tuple[Tuple[TimedItem, ...], ...] = tuple(
-            tuple(candidates) for candidates in seq_candidates
+                seq_candidates[seq_index].append(cid)
+        self.seq_candidates: Tuple[array, ...] = tuple(
+            array("i", cids) for cids in seq_candidates
         )
 
-        # (candidate, seq, suffix offset) → resume-position frozenset.  The
-        # same suffix is requested at many recursion nodes; the sets are
-        # immutable, so sharing them across nodes is free.
-        self._suffix_cache: Dict[Tuple[TimedItem, int, int], FrozenSet[int]] = {}
+        #: sequence index → per-position time bins (the gap constraint's
+        #: only backward look); shares the sequences' id arrays' shape.
+        bin_of_item = array(
+            "i", [getattr(item, "bin", 0) for item in vocab.items]
+        )
+        self.seq_bins: Tuple[array, ...] = tuple(
+            array("i", [bin_of_item[item_id] for item_id in arr])
+            for arr in encoded
+        )
+
+        # (candidate id, seq index) → resume-mask-by-start table:
+        # masks[s] has bit k+1 set for every match position k >= s, so the
+        # gap-free exact scan is a single list index at the projection's
+        # minimum start.  Built lazily in one backward pass per pair (upper-
+        # bound-pruned candidates never pay for it), shared across every
+        # recursion node that projects into the same pair.
+        self._suffix_masks: Dict[Tuple[int, int], List[int]] = {}
 
     # ------------------------------------------------------------------ api
 
+    @property
+    def pool(self) -> FrozenSet[TimedItem]:
+        """The candidate pool as items (mirrors the reference miner's)."""
+        return frozenset(self.candidate_items)
+
     def n_candidates(self) -> int:
         """Number of pool candidates with at least one match anywhere."""
-        return len(self.positions)
+        return self.n_matched
+
+    def suffix_masks(self, cid: int, seq_index: int, plist: List[int]) -> List[int]:
+        """Resume-mask-by-start table for one (candidate, sequence) pair."""
+        key = (cid, seq_index)
+        masks = self._suffix_masks.get(key)
+        if masks is None:
+            masks = self._suffix_masks[key] = _masks_by_start(
+                plist, self.seq_lens[seq_index]
+            )
+        return masks
 
     def supporters_of(
         self,
-        candidate: TimedItem,
-        projections: Dict[int, FrozenSet[int]],
+        cid: int,
+        projections: Dict[int, int],
         max_gap_bins: Optional[int],
         min_count: int,
         upper: int,
-    ) -> Optional[Dict[int, FrozenSet[int]]]:
-        """Exact supporter → resume-position map over a projection.
+    ) -> Optional[Dict[int, int]]:
+        """Exact supporter → resume-mask map over a projection.
 
+        ``projections`` maps sequence index → start-position bitmask.
         ``upper`` is the number of projected sequences the candidate occurs
         in at all (the caller's tally); the scan aborts with ``None`` as
         soon as the remaining sequences cannot lift the supporter count to
         ``min_count``.  Returns ``None`` for an infrequent candidate.
-        """
-        pos_map = self.positions[candidate]
-        suffix_cache = self._suffix_cache
-        supporters: Dict[int, FrozenSet[int]] = {}
-        remaining = upper
-        # Scan whichever side is smaller: a rare candidate over a broad
-        # projection walks its few position lists; a common one over a deep
-        # projection walks the projection.  Either way each sequence visited
-        # is in the intersection, so the supporter set is identical.
-        if len(pos_map) < len(projections):
-            pairs = (
-                (seq_index, projections.get(seq_index), plist)
-                for seq_index, plist in pos_map.items()
-            )
-        else:
-            pairs = (
-                (seq_index, starts, pos_map.get(seq_index))
-                for seq_index, starts in projections.items()
-            )
-        for seq_index, starts, plist in pairs:
-            if plist is None or starts is None:
-                continue
-            remaining -= 1
-            if max_gap_bins is None:
-                lo = bisect_left(plist, min(starts))
-                if lo < len(plist):
-                    key = (candidate, seq_index, lo)
-                    positions = suffix_cache.get(key)
-                    if positions is None:
-                        positions = suffix_cache[key] = frozenset(
-                            k + 1 for k in plist[lo:]
-                        )
-                else:
-                    positions = _EMPTY
-            else:
-                positions = self._gap_positions(
-                    plist, self.sequences[seq_index], starts, max_gap_bins
-                )
-            if positions:
-                supporters[seq_index] = positions
-            elif len(supporters) + remaining < min_count:
-                return None  # remaining-support upper bound: cannot qualify
-        return supporters if len(supporters) >= min_count else None
 
-    @staticmethod
-    def _gap_positions(
-        plist: Sequence[int],
-        seq: Tuple[TimedItem, ...],
-        starts: FrozenSet[int],
-        max_gap_bins: int,
-    ) -> FrozenSet[int]:
-        out: Set[int] = set()
-        for start in starts:
-            prev_bin = seq[start - 1].bin if start > 0 else None
-            for k in plist[bisect_left(plist, start):]:
-                if prev_bin is not None and seq[k].bin - prev_bin > max_gap_bins:
-                    continue
-                out.add(k + 1)
-        return frozenset(out)
+        The two scan directions (below) visit exactly the intersection of
+        the candidate's sequences with the projection, so the supporter set
+        is identical either way; we walk whichever side is smaller — a rare
+        candidate over a broad projection walks its few position lists, a
+        common one over a deep projection walks the projection.
+        """
+        pos_map = self.positions[cid]
+        supporters: Dict[int, int] = {}
+        remaining = upper
+        if max_gap_bins is None:
+            suffix = self._suffix_masks
+            seq_lens = self.seq_lens
+            if len(pos_map) < len(projections):
+                projections_get = projections.get
+                for seq_index, plist in pos_map.items():
+                    starts = projections_get(seq_index)
+                    if starts is None:
+                        continue
+                    remaining -= 1
+                    key = (cid, seq_index)
+                    masks = suffix.get(key)
+                    if masks is None:
+                        masks = suffix[key] = _masks_by_start(
+                            plist, seq_lens[seq_index]
+                        )
+                    mask = masks[(starts & -starts).bit_length() - 1]
+                    if mask:
+                        supporters[seq_index] = mask
+                    elif len(supporters) + remaining < min_count:
+                        return None  # remaining-support upper bound
+            else:
+                pos_get = pos_map.get
+                for seq_index, starts in projections.items():
+                    plist = pos_get(seq_index)
+                    if plist is None:
+                        continue
+                    remaining -= 1
+                    key = (cid, seq_index)
+                    masks = suffix.get(key)
+                    if masks is None:
+                        masks = suffix[key] = _masks_by_start(
+                            plist, seq_lens[seq_index]
+                        )
+                    mask = masks[(starts & -starts).bit_length() - 1]
+                    if mask:
+                        supporters[seq_index] = mask
+                    elif len(supporters) + remaining < min_count:
+                        return None
+        else:
+            seq_bins = self.seq_bins
+            if len(pos_map) < len(projections):
+                projections_get = projections.get
+                for seq_index, plist in pos_map.items():
+                    starts = projections_get(seq_index)
+                    if starts is None:
+                        continue
+                    remaining -= 1
+                    mask = _gap_mask(plist, seq_bins[seq_index], starts, max_gap_bins)
+                    if mask:
+                        supporters[seq_index] = mask
+                    elif len(supporters) + remaining < min_count:
+                        return None
+            else:
+                pos_get = pos_map.get
+                for seq_index, starts in projections.items():
+                    plist = pos_get(seq_index)
+                    if plist is None:
+                        continue
+                    remaining -= 1
+                    mask = _gap_mask(plist, seq_bins[seq_index], starts, max_gap_bins)
+                    if mask:
+                        supporters[seq_index] = mask
+                    elif len(supporters) + remaining < min_count:
+                        return None
+        return supporters if len(supporters) >= min_count else None
 
     def resume_positions(
         self,
-        candidate: TimedItem,
+        cid: int,
         seq_index: int,
-        starts: FrozenSet[int],
+        starts: int,
         max_gap_bins: Optional[int],
-    ) -> FrozenSet[int]:
-        """Resume positions after every admissible match of ``candidate``.
+    ) -> int:
+        """Resume mask after every admissible match of candidate ``cid``.
 
         Mirrors the reference miner's ``all_match_positions`` exactly:
         a match at position ``k`` reached from resume point ``start`` is
@@ -236,23 +336,103 @@ class MatchIndex:
         matched item's bin is within ``max_gap_bins`` of the bin of the item
         just before ``start`` (the one the prefix last consumed).
         """
-        per_seq = self.positions.get(candidate)
-        if per_seq is None:
-            return _EMPTY
-        plist = per_seq.get(seq_index)
-        if plist is None:
-            return _EMPTY
+        plist = self.positions[cid].get(seq_index)
+        if plist is None or not starts:
+            return 0
         if max_gap_bins is None:
-            # Gap-free: admissibility is just k >= min(starts).
-            lo = bisect_left(plist, min(starts))
-            return frozenset(k + 1 for k in plist[lo:])
-        return self._gap_positions(
-            plist, self.sequences[seq_index], starts, max_gap_bins
-        )
+            min_start = (starts & -starts).bit_length() - 1
+            return self.suffix_masks(cid, seq_index, plist)[min_start]
+        return _gap_mask(plist, self.seq_bins[seq_index], starts, max_gap_bins)
+
+
+def _masks_by_start(plist: List[int], seq_len: int) -> List[int]:
+    """Resume-mask table indexed by start position.
+
+    ``masks[s]`` has bit ``k + 1`` set for every match position ``k >= s``
+    (``masks[seq_len]`` is empty).  One backward pass builds the whole
+    table, so gap-free projection is a list index — no per-node set or mask
+    construction, no binary search.
+    """
+    masks = [0] * (seq_len + 1)
+    acc = 0
+    j = len(plist) - 1
+    for s in range(seq_len - 1, -1, -1):
+        if j >= 0 and plist[j] == s:
+            acc |= 1 << (s + 1)
+            j -= 1
+        masks[s] = acc
+    return masks
+
+
+def _gap_mask(
+    plist: List[int], bins: array, starts: int, max_gap_bins: int
+) -> int:
+    """Admissible resume mask under the gap constraint.
+
+    Semantics mirror the reference miner: for each start, matches at
+    ``k >= start`` qualify unless the (non-circular) bin distance from the
+    item just before the start exceeds ``max_gap_bins``.
+    """
+    out = 0
+    remaining = starts
+    while remaining:
+        low_bit = remaining & -remaining
+        remaining ^= low_bit
+        start = low_bit.bit_length() - 1
+        prev_bin = bins[start - 1] if start > 0 else None
+        for k in plist[bisect_left(plist, start):]:
+            if prev_bin is not None and bins[k] - prev_bin > max_gap_bins:
+                continue
+            out |= 1 << (k + 1)
+    return out
+
+
+# Per-database index memo, keyed weakly on the database so entries die with
+# it.  The inner key is everything the index depends on besides the data:
+# the matcher's structural knobs (support thresholds do NOT shape the index,
+# so a min_support sweep over one database reuses one index — and its
+# accumulated suffix-mask tables — across every run).
+_INDEX_MEMO: "weakref.WeakKeyDictionary[SequenceDatabase, Dict[tuple, MatchIndex]]"
+_INDEX_MEMO = None  # type: ignore[assignment]
+
+
+def _matcher_signature(matcher: "FlexibleMatcher") -> tuple:
+    taxonomy = matcher.taxonomy if matcher.include_ancestor_labels else None
+    return (
+        matcher.n_bins,
+        matcher.time_tolerance_bins,
+        matcher.include_ancestor_labels,
+        taxonomy,
+    )
 
 
 def build_match_index(
-    sequences: Sequence[Tuple[TimedItem, ...]], matcher: "FlexibleMatcher"
+    sequences: Union[SequenceDatabase, Sequence[Tuple[TimedItem, ...]]],
+    matcher: "FlexibleMatcher",
 ) -> MatchIndex:
-    """Build the inverted match index for one user database."""
-    return MatchIndex(sequences, matcher)
+    """Build (or reuse) the inverted match index for one user database.
+
+    Accepts either a :class:`SequenceDatabase` — whose interned arrays and
+    vocabulary are adopted directly, no re-encoding, and whose index is
+    memoized per matcher configuration — or raw item-tuple sequences, which
+    are interned here first (and never memoized: there is nothing stable to
+    key on).
+    """
+    global _INDEX_MEMO
+    if isinstance(sequences, SequenceDatabase):
+        if _INDEX_MEMO is None:
+            _INDEX_MEMO = weakref.WeakKeyDictionary()
+        per_db = _INDEX_MEMO.get(sequences)
+        if per_db is None:
+            per_db = _INDEX_MEMO[sequences] = {}
+        signature = _matcher_signature(matcher)
+        index = per_db.get(signature)
+        if index is None:
+            index = per_db[signature] = MatchIndex(
+                sequences.encoded, sequences.vocab, matcher
+            )
+        return index
+    seqs = tuple(tuple(seq) for seq in sequences)
+    vocab: ItemVocab[TimedItem] = ItemVocab(item for seq in seqs for item in seq)
+    encoded = tuple(vocab.encode_sequence(seq) for seq in seqs)
+    return MatchIndex(encoded, vocab, matcher)

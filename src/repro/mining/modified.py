@@ -116,7 +116,10 @@ class FlexibleMatcher:
         return pattern_label in self._ancestors_of(item_label)
 
     def candidates_for(self, item: TimedItem) -> Iterable[TimedItem]:
-        return (TimedItem(item.bin, name) for name in self._ancestors_of(item.label))
+        # The matcher protocol's boundary API: consumed by the reference
+        # oracle and by index *construction* (once per distinct item), never
+        # inside the interned mining recursion.
+        return (TimedItem(item.bin, name) for name in self._ancestors_of(item.label))  # crowdlint: disable=CW505
 
     def matches(self, pattern_item: TimedItem, item: TimedItem) -> bool:
         return (
@@ -162,7 +165,11 @@ def modified_prefixspan(
     (:mod:`repro.mining.index`) once per database, restricts each recursion
     node to candidates actually occurring in the projected sequences, and
     prunes candidates whose remaining possible supporters cannot reach the
-    support threshold.  Output is bit-for-bit identical to
+    support threshold.  The whole recursion runs on the interned
+    representation — candidate ids are dense ints whose numeric order *is*
+    :func:`~repro.mining.base.candidate_sort_key` order, and projection
+    position sets are int bitmasks — decoding back to :class:`TimedItem`
+    only at pattern emission.  Output is bit-for-bit identical to
     :func:`modified_prefixspan_reference` (the parity suite enforces this).
     """
     n = len(db)
@@ -175,7 +182,14 @@ def modified_prefixspan(
         include_ancestor_labels=config.include_ancestor_labels,
     )
     min_count = db.min_count(config.min_support)
-    index = build_match_index(db.sequences, matcher)
+    index = build_match_index(db, matcher)
+    candidate_items = index.candidate_items
+    seq_candidates = index.seq_candidates
+    supporters_of = index.supporters_of
+    max_gap_bins = config.max_gap_bins
+    min_length = config.limits.min_length
+    admits_longer_than = config.limits.admits_longer_than
+    canonicalize_bins = config.canonicalize_bins
     results: List[SequentialPattern[TimedItem]] = []
 
     # Structural counters for the observability layer.  The tallies are
@@ -183,51 +197,63 @@ def modified_prefixspan(
     # output and recursion order are identical whether or not an observer
     # is active; everything is emitted in one shot at the end.
     observer = get_observer()
+    observing = observer.enabled
     n_nodes = 0
     n_pruned_upper = 0  # candidates skipped by the occurrence upper bound
     n_pruned_exact = 0  # candidates rejected by the exact supporter scan
     node_depths: List[int] = []
 
-    def grow(prefix: Tuple[TimedItem, ...], projections: Dict[int, FrozenSet[int]]) -> None:
+    # Occurrence tally, reused across recursion nodes: ``counts`` is a flat
+    # list indexed by candidate id (always all-zero between nodes) and
+    # ``touched`` records which slots a node dirtied, so resetting costs
+    # O(candidates seen) rather than O(pool).
+    counts = [0] * len(candidate_items)
+
+    def grow(prefix: Tuple[TimedItem, ...], projections: Dict[int, int]) -> None:
         nonlocal n_nodes, n_pruned_upper, n_pruned_exact
         n_nodes += 1
-        if observer.enabled:
+        if observing:
             node_depths.append(len(prefix))
-        gap = config.max_gap_bins if (prefix and config.max_gap_bins is not None) else None
+        gap = max_gap_bins if (prefix and max_gap_bins is not None) else None
         # Upper-bound tally: in how many projected sequences does each
         # candidate occur at all (at any position)?  Only candidates that
         # could still reach min_count get the exact position check.
-        tally: Dict[TimedItem, int] = {}
+        touched: List[int] = []
         for seq_index in projections:
-            for candidate in index.seq_candidates[seq_index]:
-                tally[candidate] = tally.get(candidate, 0) + 1
+            for cid in seq_candidates[seq_index]:
+                if counts[cid] == 0:
+                    touched.append(cid)
+                counts[cid] += 1
 
-        supported: Dict[TimedItem, Dict[int, FrozenSet[int]]] = {}
-        for candidate, upper in tally.items():
+        supported: Dict[int, Dict[int, int]] = {}
+        for cid in touched:
+            upper = counts[cid]
+            counts[cid] = 0  # reset as we drain; all-zero again before recursing
             if upper < min_count:
                 n_pruned_upper += 1
                 continue
-            supporters = index.supporters_of(candidate, projections, gap, min_count, upper)
+            supporters = supporters_of(cid, projections, gap, min_count, upper)
             if supporters is not None:
-                supported[candidate] = supporters
+                supported[cid] = supporters
             else:
                 n_pruned_exact += 1
 
-        if config.canonicalize_bins:
-            supported = _canonicalize(supported)
+        if canonicalize_bins:
+            supported = _canonicalize_ids(supported, candidate_items)
 
-        for candidate in sorted(supported, key=candidate_sort_key):
-            supporters = supported[candidate]
+        # Candidate ids sort exactly like candidate_sort_key sorts items.
+        for cid in sorted(supported):
+            supporters = supported[cid]
             count = len(supporters)
-            pattern_items = prefix + (candidate,)
-            if len(pattern_items) >= config.limits.min_length:
+            pattern_items = prefix + (candidate_items[cid],)
+            if len(pattern_items) >= min_length:
                 results.append(
                     SequentialPattern(items=pattern_items, count=count, support=count / n)
                 )
-            if config.limits.admits_longer_than(len(pattern_items)):
+            if admits_longer_than(len(pattern_items)):
                 grow(pattern_items, supporters)
 
-    grow((), {i: frozenset({0}) for i in range(n)})
+    grow((), {i: 1 for i in range(n)})
     if observer.enabled:
         observer.inc("repro_mining_runs_total")
         observer.inc("repro_mining_nodes_total", n_nodes)
@@ -322,6 +348,30 @@ def modified_prefixspan_reference(
 
     grow((), {i: frozenset({0}) for i in range(n)})
     return sort_patterns(results)
+
+
+def _canonicalize_ids(
+    supported: Dict[int, Dict[int, int]],
+    candidate_items: Sequence[TimedItem],
+) -> Dict[int, Dict[int, int]]:
+    """Interned twin of :func:`_canonicalize` (fast path).
+
+    Same semantics over ids: position bitmasks are bijective with the
+    reference's position frozensets, so two candidates have identical
+    ``{sequence → mask}`` evidence exactly when the reference sees identical
+    ``{sequence → positions}`` evidence — and ascending id order is
+    ``candidate_sort_key`` order, so "keep the earliest bin" is "keep the
+    lowest id".
+    """
+    kept: Dict[int, Dict[int, int]] = {}
+    seen: Set[Tuple[str, Tuple[Tuple[int, int], ...]]] = set()
+    for cid in sorted(supported):
+        evidence = (candidate_items[cid].label, tuple(sorted(supported[cid].items())))
+        if evidence in seen:
+            continue
+        seen.add(evidence)
+        kept[cid] = supported[cid]
+    return kept
 
 
 def _canonicalize(

@@ -160,6 +160,34 @@ def _profile_from_db(
     )
 
 
+def _profile_from_encoded(
+    task: Tuple[str, str, Tuple],
+    vocab,
+    taxonomy: CategoryTree,
+    level: AbstractionLevel,
+    binning: TimeBinning,
+    config: ModifiedPrefixSpanConfig,
+    closed_only: bool,
+) -> UserPatternProfile:
+    """Mine one user's *interned* database shipped as raw id arrays.
+
+    The process backend pickles the worker ``partial`` — including the
+    dataset-wide :class:`~repro.sequences.ItemVocab` — once per worker;
+    each task then carries only ``(user_id, db_name, packed id storage)``,
+    and the database is re-adopted here without copying or re-encoding.
+    """
+    user_id, name, (flat, offsets) = task
+    db = SequenceDatabase.from_storage(flat, offsets, vocab, name=name)
+    return _profile_from_db(
+        (user_id, db),
+        taxonomy=taxonomy,
+        level=level,
+        binning=binning,
+        config=config,
+        closed_only=closed_only,
+    )
+
+
 def detect_all_patterns(
     dataset: CheckInDataset,
     taxonomy: CategoryTree,
@@ -175,24 +203,32 @@ def detect_all_patterns(
     The per-dataset work (labeler construction, sessionization) happens
     once up front; each user's mining then runs over ``exec_config`` —
     serially by default, or fanned out across worker processes with a
-    deterministic ordered merge (output is identical either way).
+    deterministic ordered merge (output is identical either way).  All
+    per-user databases share one dataset-wide vocabulary, which travels in
+    the worker closure (shipped once per worker process); the per-task
+    payload is just the user's packed id arrays.
     """
     with get_observer().span("patterns.detect_all") as span:
         databases = build_all_databases(dataset, taxonomy, level, binning,
                                         day_kind=day_kind)
         user_ids = list(databases)
+        if not user_ids:
+            span.set("n_users", 0)
+            span.set("n_patterns", 0)
+            return {}
         worker = partial(
-            _profile_from_db,
+            _profile_from_encoded,
+            vocab=databases[user_ids[0]].vocab,
             taxonomy=taxonomy,
             level=level,
             binning=binning,
             config=config,
             closed_only=closed_only,
         )
-        profiles = ordered_map(
-            worker, [(uid, databases[uid]) for uid in user_ids], exec_config,
-            label="mine_user",
-        )
+        tasks = [
+            (uid, databases[uid].name, databases[uid].storage) for uid in user_ids
+        ]
+        profiles = ordered_map(worker, tasks, exec_config, label="mine_user")
         span.set("n_users", len(user_ids))
         span.set("n_patterns", sum(p.n_patterns for p in profiles))
     return {profile.user_id: profile for profile in profiles}

@@ -10,12 +10,14 @@ from .items import Labeler, TimedItem, item_formatter, make_labeler
 from .sessions import DailySession, sessionize_dataset, sessionize_user
 from .staypoints import Fix, StayPoint, detect_stay_points
 from .timebins import FOUR_HOURLY, HOURLY, TWO_HOURLY, TimeBinning
+from .vocab import ItemVocab
 
 __all__ = [
     "DailySession",
     "FOUR_HOURLY",
     "Fix",
     "HOURLY",
+    "ItemVocab",
     "Labeler",
     "SequenceDatabase",
     "StayPoint",

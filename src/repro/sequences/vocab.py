@@ -1,0 +1,141 @@
+"""Dense integer interning for sequence items (the hot-path vocabulary).
+
+The mining and crowd layers traffic in small immutable values —
+``TimedItem(bin, label)`` pairs, microcell addresses, place labels — that
+are hashed and compared millions of times per run.  An :class:`ItemVocab`
+interns every distinct value to a *dense contiguous integer id* once, at
+database-build time, so the inner loops can operate on plain ints (and int
+arrays / int bitmasks) instead of tuples and strings.
+
+Design invariants
+-----------------
+* **Stable construction.**  Ids are assigned in a deterministic sorted
+  order: timed items (anything exposing ``label``/``bin``) sort by
+  ``(label, bin)`` — exactly :func:`repro.mining.base.candidate_sort_key` —
+  so sorting ids reproduces the miners' canonical candidate order for free;
+  other item types sort naturally, with ``repr`` as the tie-safe fallback
+  for heterogeneous alphabets.  Building the same vocabulary from the same
+  distinct items always yields the same ids.
+* **Decode at the boundary.**  ``decode`` returns the *shared* stored item
+  instance, so decoding is a list index and decoded structures share one
+  object per distinct value instead of one per occurrence.
+* **Compact storage.**  ``encode_sequence`` packs a sequence into an
+  ``array('i')`` — 4 bytes per occurrence versus a pointer plus a boxed
+  item object for the tuple-of-objects representation.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Generic, Hashable, Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+__all__ = ["ItemVocab", "vocab_sort_key"]
+
+Item = TypeVar("Item", bound=Hashable)
+
+#: Typecode used for encoded sequences; a signed 32-bit int comfortably
+#: holds any realistic vocabulary (ids are dense, so |vocab| bounds them).
+ENCODED_TYPECODE = "i"
+
+
+def vocab_sort_key(item):
+    """Deterministic id-assignment order (mirrors ``candidate_sort_key``).
+
+    Timed items order by ``(label, bin)``; everything else keeps its
+    natural order.  Kept local so ``sequences`` does not import ``mining``
+    (the layering DAG points the other way).
+    """
+    label = getattr(item, "label", None)
+    bin_index = getattr(item, "bin", None)
+    if label is not None and bin_index is not None:
+        return (label, bin_index)
+    return item
+
+
+def _stable_sorted(items: Iterable) -> List:
+    items = list(items)
+    try:
+        return sorted(items, key=vocab_sort_key)
+    except TypeError:
+        return sorted(items, key=repr)
+
+
+def _rebuild(items: Tuple) -> "ItemVocab":
+    """Pickle reconstructor: rebuild from the already-sorted item table."""
+    vocab = ItemVocab.__new__(ItemVocab)
+    vocab._items = items
+    vocab._ids = {item: i for i, item in enumerate(items)}
+    return vocab
+
+
+class ItemVocab(Generic[Item]):
+    """An immutable bidirectional map ``item ↔ dense contiguous int id``."""
+
+    __slots__ = ("_items", "_ids")
+
+    def __init__(self, items: Iterable[Item] = ()) -> None:
+        self._items: Tuple[Item, ...] = tuple(_stable_sorted(set(items)))
+        self._ids: Dict[Item, int] = {item: i for i, item in enumerate(self._items)}
+
+    # ------------------------------------------------------------- protocol
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self._items)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._ids
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ItemVocab):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        return f"ItemVocab({len(self._items)} items)"
+
+    def __reduce__(self):
+        # Reconstruct from the item table alone: the id dict is derived, so
+        # pickles stay small and rebuilds are exact (no re-sort involved).
+        return (_rebuild, (self._items,))
+
+    # ------------------------------------------------------------------ api
+
+    @property
+    def items(self) -> Tuple[Item, ...]:
+        """All items, in id order (``items[i]`` is the item with id ``i``)."""
+        return self._items
+
+    def encode(self, item: Item) -> int:
+        """The id of a known item; unknown items raise ``KeyError``."""
+        try:
+            return self._ids[item]
+        except KeyError:
+            raise KeyError(f"item {item!r} is not in this vocabulary") from None
+
+    def get(self, item: Item, default: int = -1) -> int:
+        """The id of ``item``, or ``default`` when it is unknown."""
+        return self._ids.get(item, default)
+
+    def decode(self, item_id: int) -> Item:
+        """The (shared) item instance for an id; out-of-range raises."""
+        if not 0 <= item_id < len(self._items):
+            raise IndexError(
+                f"id {item_id} out of range for a {len(self._items)}-item vocabulary"
+            )
+        return self._items[item_id]
+
+    def encode_sequence(self, sequence: Sequence[Item]) -> array:
+        """Pack a sequence of known items into an ``array('i')`` of ids."""
+        ids = self._ids
+        return array(ENCODED_TYPECODE, [ids[item] for item in sequence])
+
+    def decode_sequence(self, encoded: Sequence[int]) -> Tuple[Item, ...]:
+        """Unpack an id array back into a tuple of shared item instances."""
+        items = self._items
+        return tuple(items[i] for i in encoded)

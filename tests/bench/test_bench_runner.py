@@ -9,6 +9,7 @@ from repro.bench import (
     BENCH_PIPELINE_FILENAME,
     BenchReport,
     SCALES,
+    run_interning_bench,
     run_mining_bench,
     run_obs_overhead_bench,
     run_pipeline_bench,
@@ -41,12 +42,36 @@ def test_mining_report_shape(smoke_mining_report):
     assert report.git_rev == "testrev"
     assert report.n_cpus >= 1
     reference = report.row("modified_prefixspan_reference")
-    indexed = report.row("modified_prefixspan_indexed")
+    interned = report.row("modified_prefixspan_interned")
     assert reference.speedup_vs_serial == 1.0
-    assert indexed.wall_clock_s > 0
-    # The indexed core must win even at smoke scale; the ≥5× acceptance
+    assert interned.wall_clock_s > 0
+    # The interned core must win even at smoke scale; the ≥20× acceptance
     # figure is measured at the "bench" scale, where indexes amortize more.
-    assert indexed.speedup_vs_serial > 1.0
+    assert interned.speedup_vs_serial > 1.0
+
+
+def test_mining_report_carries_interning_rows(smoke_mining_report):
+    """BENCH_mining.json records the representation's memory side too."""
+    obj = smoke_mining_report.row("db_build_object")
+    interned = smoke_mining_report.row("db_build_interned")
+    assert obj.speedup_vs_serial == 1.0
+    for row in (obj, interned):
+        assert row.peak_tracemalloc_kb is not None and row.peak_tracemalloc_kb > 0
+        assert row.bytes_per_sequence is not None and row.bytes_per_sequence > 0
+    # The acceptance bar (≤ 1/4 of the object representation) is structural
+    # — byte sizes, not wall clock — so it holds at any scale.
+    assert interned.bytes_per_sequence <= obj.bytes_per_sequence / 4
+
+
+def test_interning_report_shape():
+    report = run_interning_bench("smoke", git_rev="testrev")
+    assert report.benchmark == "interning"
+    assert report.scale == "smoke"
+    names = [row.name for row in report.rows]
+    assert names == ["db_build_object", "db_build_interned"]
+    interned = report.row("db_build_interned")
+    obj = report.row("db_build_object")
+    assert interned.bytes_per_sequence < obj.bytes_per_sequence
 
 
 def test_pipeline_report_shape():

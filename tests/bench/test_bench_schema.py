@@ -89,6 +89,37 @@ class TestSchemaHistory:
         assert report.dirty is False
         assert report.trace == ()
 
+    def test_v2_payload_without_memory_fields_loads(self):
+        """Schema-2 rows predate the memory fields: they default to None."""
+        payload = _report().to_dict()
+        payload["schema"] = 2
+        for row in payload["rows"]:
+            assert "peak_tracemalloc_kb" not in row
+            assert "bytes_per_sequence" not in row
+        report = BenchReport.from_dict(payload)
+        assert all(row.peak_tracemalloc_kb is None for row in report.rows)
+        assert all(row.bytes_per_sequence is None for row in report.rows)
+
+    def test_v3_memory_fields_roundtrip(self):
+        row = BenchRow(
+            name="db_build_interned",
+            wall_clock_s=0.5,
+            ops_per_sec=100.0,
+            speedup_vs_serial=2.0,
+            peak_tracemalloc_kb=2048.25,
+            bytes_per_sequence=96.5,
+        )
+        payload = row.to_dict()
+        assert payload["peak_tracemalloc_kb"] == 2048.25
+        assert payload["bytes_per_sequence"] == 96.5
+        assert BenchRow.from_dict(payload) == row
+
+    def test_unmeasured_memory_fields_stay_out_of_the_payload(self):
+        payload = _report().to_dict()
+        for row in payload["rows"]:
+            assert "peak_tracemalloc_kb" not in row
+            assert "bytes_per_sequence" not in row
+
     def test_summary_flags_dirty_reports(self):
         report = BenchReport(benchmark="b", scale="smoke", seed=1,
                              git_rev="x-dirty", dirty=True)
@@ -110,6 +141,18 @@ class TestValidation:
         with pytest.raises(ValueError, match="non-negative"):
             BenchRow(
                 name="x", wall_clock_s=-1.0, ops_per_sec=1.0, speedup_vs_serial=1.0
+            )
+
+    def test_negative_memory_measurements_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BenchRow(
+                name="x", wall_clock_s=1.0, ops_per_sec=1.0,
+                speedup_vs_serial=1.0, peak_tracemalloc_kb=-1.0,
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            BenchRow(
+                name="x", wall_clock_s=1.0, ops_per_sec=1.0,
+                speedup_vs_serial=1.0, bytes_per_sequence=-0.5,
             )
 
     def test_report_needs_a_benchmark(self):

@@ -28,7 +28,7 @@ def test_registry_has_every_rule_pack():
         # CW4xx: observability conformance
         "CW401", "CW402", "CW403", "CW404",
         # CW5xx: hot-path performance
-        "CW501", "CW502", "CW503", "CW504",
+        "CW501", "CW502", "CW503", "CW504", "CW505",
         # CW6xx: interprocedural id-domain / units
         "CW601", "CW602", "CW603", "CW604", "CW605",
     ]

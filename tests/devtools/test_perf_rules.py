@@ -230,3 +230,69 @@ class TestInvariantSortInLoop:
             rule="CW504",
         )
         assert findings == []
+
+
+class TestTimedItemInHotLoop:
+    def test_flags_construction_in_mining_loop(self, lint):
+        findings = lint(
+            """
+            def expand(bins, label):
+                out = []
+                for b in bins:
+                    out.append(TimedItem(b, label))
+                return out
+            """,
+            rule="CW505",
+            module="repro.mining.expand",
+        )
+        assert rule_ids(findings) == ["CW505"]
+        assert [f.severity for f in findings] == ["error"]
+
+    def test_flags_construction_in_crowd_comprehension(self, lint):
+        findings = lint(
+            """
+            from repro.sequences import items
+
+            def widen(hits):
+                return [items.TimedItem(h.bin, h.label) for h in hits]
+            """,
+            rule="CW505",
+            module="repro.crowd.widen",
+        )
+        assert rule_ids(findings) == ["CW505"]
+
+    def test_construction_outside_a_loop_is_fine(self, lint):
+        findings = lint(
+            """
+            def probe(bin_index, label):
+                return TimedItem(bin_index, label)
+            """,
+            rule="CW505",
+            module="repro.mining.probe",
+        )
+        assert findings == []
+
+    def test_cold_layers_are_exempt(self, lint):
+        findings = lint(
+            """
+            def load(rows):
+                return [TimedItem(b, l) for b, l in rows]
+            """,
+            rule="CW505",
+            module="repro.persistence",
+        )
+        assert findings == []
+
+    def test_other_calls_in_hot_loops_are_fine(self, lint):
+        findings = lint(
+            """
+            def tally(rows):
+                out = []
+                for row in rows:
+                    out.append(int(row))
+                return out
+            """,
+            rule="CW505",
+            module="repro.mining.tally",
+        )
+        assert findings == []

@@ -31,6 +31,44 @@ def test_detect_all_patterns_process_equals_serial(
     assert fanned == serial_profiles
 
 
+def test_vocab_ships_to_workers_intact(small_ds, taxonomy, serial_profiles):
+    """The interned task payload survives pickling bit-for-bit.
+
+    Phase 2 ships each user as ``(uid, name, packed id arrays)`` plus one
+    dataset-wide vocabulary in the worker closure.  Round-tripping that
+    closure and payload through pickle — exactly what the process pool does
+    — must reproduce the serial profiles, proving ids decode to the same
+    items on the far side.
+    """
+    import pickle
+    from functools import partial
+
+    from repro.mining import ModifiedPrefixSpanConfig
+    from repro.patterns.model import _profile_from_encoded
+    from repro.sequences import HOURLY, build_all_databases
+    from repro.taxonomy import AbstractionLevel
+
+    databases = build_all_databases(small_ds, taxonomy)
+    assert len({db.vocab for db in databases.values()}) == 1, (
+        "per-user databases must share one vocabulary"
+    )
+    worker = partial(
+        _profile_from_encoded,
+        vocab=databases[sorted(databases)[0]].vocab,
+        taxonomy=taxonomy,
+        level=AbstractionLevel.ROOT,
+        binning=HOURLY,
+        config=ModifiedPrefixSpanConfig(),
+        closed_only=True,
+    )
+    shipped_worker = pickle.loads(pickle.dumps(worker))
+    shipped_vocab = shipped_worker.keywords["vocab"]
+    assert shipped_vocab.items == worker.keywords["vocab"].items
+    for uid, db in databases.items():
+        task = pickle.loads(pickle.dumps((uid, db.name, db.storage)))
+        assert shipped_worker(task) == serial_profiles[uid]
+
+
 def test_process_backend_preserves_user_order(small_ds, taxonomy, serial_profiles):
     fanned = detect_all_patterns(
         small_ds,

@@ -119,28 +119,55 @@ class TestMatchIndex:
 
     def test_positions_strictly_increasing(self, index_and_matcher):
         index, _, _ = index_and_matcher
-        for per_seq in index.positions.values():
+        for per_seq in index.positions:
             for plist in per_seq.values():
                 assert list(plist) == sorted(set(plist))
 
     def test_positions_are_exactly_the_matches(self, index_and_matcher):
         """Every indexed position matches; every match is indexed."""
         index, matcher, sequences = index_and_matcher
-        for candidate in index.pool:
-            per_seq = index.positions.get(candidate, {})
+        for cid, candidate in enumerate(index.candidate_items):
+            per_seq = index.positions[cid]
             for seq_index, seq in enumerate(sequences):
                 expected = [
                     k for k, item in enumerate(seq) if matcher.matches(candidate, item)
                 ]
                 assert list(per_seq.get(seq_index, [])) == expected
 
+    def test_candidate_ids_sorted_like_candidate_sort_key(self, index_and_matcher):
+        """Ascending id order must reproduce the canonical expansion order."""
+        from repro.mining.base import candidate_sort_key
+
+        index, _, _ = index_and_matcher
+        items = list(index.candidate_items)
+        assert items == sorted(items, key=candidate_sort_key)
+
     def test_seq_candidates_mirror_positions(self, index_and_matcher):
         index, _, sequences = index_and_matcher
         for seq_index in range(len(sequences)):
             from_lists = set(index.seq_candidates[seq_index])
             from_positions = {
-                candidate
-                for candidate, per_seq in index.positions.items()
+                cid
+                for cid, per_seq in enumerate(index.positions)
                 if seq_index in per_seq
             }
             assert from_lists == from_positions
+
+    def test_resume_masks_match_reference_semantics(self, index_and_matcher):
+        """Bitmask resume positions decode to the oracle's frozensets."""
+        index, matcher, sequences = index_and_matcher
+        for cid, candidate in enumerate(index.candidate_items):
+            for seq_index, seq in list(enumerate(sequences))[:8]:
+                for start in (0, 1, len(seq) // 2):
+                    mask = index.resume_positions(cid, seq_index, 1 << start, None)
+                    expected = {
+                        k + 1
+                        for k in range(start, len(seq))
+                        if matcher.matches(candidate, seq[k])
+                    }
+                    decoded = set()
+                    while mask:
+                        low = mask & -mask
+                        mask ^= low
+                        decoded.add(low.bit_length() - 1)
+                    assert decoded == expected

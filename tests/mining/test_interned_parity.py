@@ -1,0 +1,98 @@
+"""Randomized sweep: the interned miner decodes bit-for-bit to the oracle.
+
+The interned :func:`~repro.mining.modified.modified_prefixspan` runs its
+whole recursion on dense int ids and bitmasks; item objects reappear only
+at the emission boundary.  Its contract is unchanged: *exact* equality —
+same patterns, same order, same supports — with
+:func:`~repro.mining.modified.modified_prefixspan_reference`, the original
+object-at-a-time implementation kept verbatim as the oracle.
+
+Where ``test_index_parity`` sweeps the matcher-configuration surface on
+three worlds, this sweep goes wide on *data*: five independently-seeded
+synthetic worlds crossed with the paper's support sweep, time tolerance,
+and both abstraction extremes (ROOT's tiny alphabet vs LEAF's wide one,
+which stresses the vocabulary and the candidate id space differently).
+"""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.data import SynthConfig, generate
+from repro.mining import (
+    ModifiedPrefixSpanConfig,
+    modified_prefixspan,
+    modified_prefixspan_reference,
+)
+from repro.sequences import build_all_databases
+from repro.taxonomy import AbstractionLevel, build_default_taxonomy
+
+#: Five pinned, independently-seeded worlds with different shapes — user
+#: counts, venue density, and span all vary, so sequence-length and
+#: alphabet-size edge cases differ per world.
+WORLD_CONFIGS = [
+    SynthConfig(seed=3, n_users=8, n_venues=90, n_neighborhoods=3,
+                start_date=date(2012, 4, 1), end_date=date(2012, 5, 15)),
+    SynthConfig(seed=17, n_users=6, n_venues=200, n_neighborhoods=6,
+                start_date=date(2012, 5, 1), end_date=date(2012, 6, 10)),
+    SynthConfig(seed=101, n_users=10, n_venues=60, n_neighborhoods=2,
+                start_date=date(2012, 6, 1), end_date=date(2012, 7, 20)),
+    SynthConfig(seed=271, n_users=7, n_venues=150, n_neighborhoods=5,
+                start_date=date(2012, 7, 1), end_date=date(2012, 8, 1)),
+    SynthConfig(seed=9001, n_users=9, n_venues=110, n_neighborhoods=4,
+                start_date=date(2012, 8, 1), end_date=date(2012, 9, 10)),
+]
+
+#: The paper's support sweep × tolerance × abstraction extremes.
+SUPPORTS = [0.25, 0.5, 0.75]
+TOLERANCES = [0, 2]
+LEVELS = [AbstractionLevel.ROOT, AbstractionLevel.LEAF]
+
+
+@pytest.fixture(scope="module")
+def taxonomy():
+    return build_default_taxonomy()
+
+
+@pytest.fixture(scope="module", params=range(len(WORLD_CONFIGS)))
+def world(request, taxonomy):
+    dataset = generate(WORLD_CONFIGS[request.param]).dataset
+    return {
+        level: build_all_databases(dataset, taxonomy, level) for level in LEVELS
+    }
+
+
+def _busiest(databases, k):
+    uids = sorted(databases, key=lambda uid: len(databases[uid]), reverse=True)
+    return [(uid, databases[uid]) for uid in uids[:k]]
+
+
+@pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.value)
+@pytest.mark.parametrize("tolerance", TOLERANCES)
+@pytest.mark.parametrize("min_support", SUPPORTS)
+def test_interned_decodes_equal_to_reference(
+    world, taxonomy, min_support, tolerance, level
+):
+    config = ModifiedPrefixSpanConfig(
+        min_support=min_support, time_tolerance_bins=tolerance
+    )
+    for uid, db in _busiest(world[level], 2):
+        interned = modified_prefixspan(db, config, taxonomy)
+        reference = modified_prefixspan_reference(db, config, taxonomy)
+        assert interned == reference, (
+            f"user {uid} @ {level.value}: interned output diverged "
+            f"(support={min_support}, tolerance={tolerance})"
+        )
+
+
+def test_emitted_items_are_real_timed_items(world, taxonomy):
+    """Decode-at-the-boundary must hand back genuine item objects."""
+    from repro.sequences import TimedItem
+
+    _, db = _busiest(world[AbstractionLevel.ROOT], 1)[0]
+    for pattern in modified_prefixspan(
+        db, ModifiedPrefixSpanConfig(min_support=0.25), taxonomy
+    ):
+        assert all(isinstance(item, TimedItem) for item in pattern.items)
