@@ -9,7 +9,10 @@ asserts, at the engine level (no interpreter startup noise):
    warm) at least ``MIN_WORK_RATIO``x;
 2. the warm run rebuilds no module summaries (the whole-program pass is
    served from the summary cache too);
-3. both runs produce identical findings.
+3. both runs produce identical findings;
+4. the thread-analysis facts ride the cached summaries: a project rebuilt
+   warm from the same cache extracts zero summaries and still discovers
+   the tree's thread roots from the cached facts.
 
 Work done is counted structurally (files re-analyzed, summaries rebuilt),
 never by wall-clock: a loaded CI runner can stall either run arbitrarily,
@@ -24,10 +27,33 @@ import time
 from pathlib import Path
 
 from repro.devtools.cache import LintCache
-from repro.devtools.engine import LintEngine
+from repro.devtools.callgraph import ProjectAnalysis
+from repro.devtools.engine import LintEngine, iter_python_files, module_name_for
 
 MIN_WORK_RATIO = 5.0
 PATHS = [Path("src"), Path("tests")]
+
+
+def _warm_thread_probe(cache: LintCache):
+    """Rebuild the whole-program view from the warm cache only.
+
+    Returns ``(summaries_built, missing_thread_facts, thread_roots)`` —
+    the thread facts live inside the module summaries, so a warm rebuild
+    must extract nothing and still see every spawn site.
+    """
+    files = []
+    for file_path in iter_python_files(PATHS):
+        files.append(
+            (str(file_path), file_path.read_text(encoding="utf-8"),
+             module_name_for(file_path), file_path.name == "__init__.py")
+        )
+    project = ProjectAnalysis.build(files, cache=cache)
+    missing = [
+        key
+        for key, summary in project.summaries.items()
+        if not isinstance(summary.get("threads"), dict)
+    ]
+    return project.summaries_built, missing, project.threads().n_roots
 
 
 def main() -> int:
@@ -45,6 +71,8 @@ def main() -> int:
         warm_s = time.perf_counter() - t0
         warm_stats = engine.last_stats
 
+        thread_rebuilds, thread_missing, thread_roots = _warm_thread_probe(cache)
+
     ratio = (
         cold_stats.analyzed / warm_stats.analyzed
         if warm_stats.analyzed
@@ -60,8 +88,23 @@ def main() -> int:
         f"{warm_stats.summaries_cached} summaries cached, {warm_s * 1000:.0f} ms"
     )
     print(f"work ratio: {ratio:.1f}x analyzed (timing is informational only)")
+    print(
+        f"threads: {thread_roots} roots from cached facts, "
+        f"{thread_rebuilds} summaries rebuilt"
+    )
 
     problems = []
+    if thread_rebuilds != 0:
+        problems.append(
+            f"warm thread probe rebuilt {thread_rebuilds} module summaries"
+        )
+    if thread_missing:
+        problems.append(
+            f"{len(thread_missing)} cached summaries lack thread facts "
+            f"(e.g. {thread_missing[0]})"
+        )
+    if thread_roots == 0:
+        problems.append("thread analysis found no roots on the real tree")
     if cold_stats.analyzed != cold_stats.files:
         problems.append("cold run did not analyze every file")
     if warm_stats.analyzed != 0:

@@ -36,6 +36,7 @@ from .domains import (
     FunctionRef,
     extract_summary,
 )
+from .threads import ThreadAnalysis
 
 __all__ = ["CallGraph", "ProjectAnalysis"]
 
@@ -134,6 +135,7 @@ class ProjectAnalysis:
         self._conflicts: Dict[str, List[Dict[str, object]]] = {}
         self._dead: Dict[str, List[Dict[str, object]]] = {}
         self._dep_keys: Dict[str, str] = {}
+        self._thread_analysis: Optional["ThreadAnalysis"] = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -553,12 +555,29 @@ class ProjectAnalysis:
         payload = {
             "signatures": signatures,
             "dead": sorted(record["name"] for record in self.dead_exports(module_key)),  # type: ignore[misc]
+            "threads": self.threads().dep_digest(module_key),
         }
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
         ).hexdigest()
         self._dep_keys[module_key] = digest
         return digest
+
+    # ------------------------------------------------------------ threads
+
+    def threads(self) -> ThreadAnalysis:
+        """The race-detection view (roots, domains, locksets), built lazily.
+
+        Derived entirely from the summaries plus :meth:`resolve`, so worker
+        projects rehydrated via :meth:`from_dict` rebuild it on demand.
+        """
+        if self._thread_analysis is None:
+            self._thread_analysis = ThreadAnalysis(self.summaries, self.resolve)
+        return self._thread_analysis
+
+    def thread_records(self, module_key: str) -> List[Dict[str, object]]:
+        """CW7xx finding records anchored in ``module_key``."""
+        return self.threads().records_for(module_key)
 
 
 def _ref_key(ref: FunctionRef) -> str:

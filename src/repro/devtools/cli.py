@@ -114,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --callgraph: emit Graphviz DOT instead of edge lines",
     )
     parser.add_argument(
+        "--threads",
+        action="store_true",
+        help="print discovered thread roots and shared state instead of linting",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list the available rules and exit",
@@ -177,24 +182,56 @@ def _print_callgraph(paths: List[Path], as_dot: bool) -> int:
     return 0
 
 
+def _print_threads(paths: List[Path]) -> int:
+    """``--threads``: the race-detector's view — roots, shared state, locks."""
+    from .callgraph import ProjectAnalysis  # deferred: lint runs may skip it
+
+    files = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            print(f"crowdweb-lint: unreadable file {file_path}: {exc}", file=sys.stderr)
+            return 2
+        files.append(
+            (str(file_path), source, module_name_for(file_path),
+             file_path.name == "__init__.py")
+        )
+    print(ProjectAnalysis.build(files).threads().render())
+    return 0
+
+
 def _run_fix(engine: LintEngine, paths: List[Path], diff_only: bool) -> int:
-    """``--fix`` / ``--diff``: rewrite (or preview) then report the rest."""
+    """``--fix`` / ``--diff``: rewrite (or preview) then report the rest.
+
+    Project-scoped rules (CW703's setdefault rewrite) attach fixes the
+    per-file re-lint cannot reproduce, so one whole-program lint seeds the
+    fixer with every fixable finding up front.
+    """
     remaining = []
     fixed_files = 0
     fixes_applied = 0
+    seeds: dict = {}
+    for finding in engine.lint_paths(paths):
+        if finding.fix is not None:
+            seeds.setdefault(finding.path, []).append(finding)
     for file_path in iter_python_files(paths):
+        seed = seeds.get(str(file_path), ())
         if diff_only:
             try:
                 original = file_path.read_text(encoding="utf-8")
             except (OSError, UnicodeDecodeError):
                 continue
             result = fix_source(
-                engine, original, str(file_path), module_name_for(file_path)
+                engine, original, str(file_path), module_name_for(file_path),
+                seed_findings=seed,
             )
             if result.changed:
                 sys.stdout.write(unified_diff(original, result.source, str(file_path)))
         else:
-            result = fix_file(engine, file_path, module_name_for(file_path))
+            result = fix_file(
+                engine, file_path, module_name_for(file_path), seed_findings=seed
+            )
             if result is None:
                 continue
         if result.changed:
@@ -242,6 +279,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.callgraph or args.dot:
         return _print_callgraph(paths, as_dot=args.dot)
+
+    if args.threads:
+        return _print_threads(paths)
 
     if args.update_baseline and args.baseline is None:
         print("crowdweb-lint: --update-baseline requires --baseline FILE", file=sys.stderr)

@@ -52,6 +52,7 @@ import json
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .layers import resolve_import
+from .threads import extract_thread_facts
 
 __all__ = [
     "CONFLICT",
@@ -76,7 +77,7 @@ FAMILIES = ("axis", "unit", "id", "dt")
 CONFLICT = "<conflict>"
 
 #: Bumped when the summary JSON schema changes; part of the summary cache key.
-SUMMARY_FORMAT = "1"
+SUMMARY_FORMAT = "2"
 
 
 # ---------------------------------------------------------------------------
@@ -308,6 +309,9 @@ def extract_summary(
     }
     extractor = _SummaryExtractor(summary, module, is_init)
     extractor.run(tree)
+    # Thread facts ride inside the summary so they share its content-
+    # addressed cache entry and ship to --jobs workers for free.
+    summary["threads"] = extract_thread_facts(tree)
     return summary
 
 

@@ -104,11 +104,21 @@ def fix_source(
     path: str = "<string>",
     module: str = "",
     max_passes: int = MAX_PASSES,
+    seed_findings: Sequence[Finding] = (),
 ) -> FixResult:
-    """Lint → patch → re-lint to a fixpoint.  Never returns broken syntax."""
+    """Lint → patch → re-lint to a fixpoint.  Never returns broken syntax.
+
+    ``seed_findings`` extends the first pass with findings the single-file
+    lint cannot reproduce — project-scoped rules like CW703, whose fixes
+    were computed by a whole-program run.  Their spans are only valid
+    against the original source, so they never carry into later passes;
+    duplicates of single-file findings are dropped by the overlap filter.
+    """
     applied_total = 0
     passes = 0
-    findings: Tuple[Finding, ...] = tuple(engine.lint_source(source, path, module))
+    findings: Tuple[Finding, ...] = tuple(seed_findings) + tuple(
+        engine.lint_source(source, path, module)
+    )
     while passes < max_passes and any(f.fix for f in findings):
         candidate, applied = apply_fixes(source, findings)
         passes += 1
@@ -131,13 +141,14 @@ def fix_file(
     path: Path,
     module: str = "",
     write: bool = True,
+    seed_findings: Sequence[Finding] = (),
 ) -> Optional[FixResult]:
     """Fix one file in place; returns ``None`` when it cannot be read."""
     try:
         original = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError):
         return None
-    result = fix_source(engine, original, str(path), module)
+    result = fix_source(engine, original, str(path), module, seed_findings=seed_findings)
     if write and result.changed:
         path.write_text(result.source, encoding="utf-8")
     return result

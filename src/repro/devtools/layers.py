@@ -61,8 +61,10 @@ DEVTOOLS_MODULES: FrozenSet[str] = frozenset(
         "rules.mutable_defaults",
         "rules.observability",
         "rules.perf",
+        "rules.threadsafety",
         "rules.units",
         "sarif",
+        "threads",
     }
 )
 

@@ -16,5 +16,6 @@ from . import (  # noqa: F401  (imported for registration side effects)
     mutable_defaults,
     observability,
     perf,
+    threadsafety,
     units,
 )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -142,6 +143,14 @@ NULL_OBSERVER = Observer(enabled=False, registry=NullRegistry(), tracer=Tracer()
 
 _active: Observer = NULL_OBSERVER
 
+#: Guards every install/uninstall of the process-global observer.  Reads
+#: (``get_observer``, ``span``) stay lock-free on purpose: publishing a
+#: fully-constructed Observer through one reference assignment is safe, and
+#: the read is on every instrumented hot path.  Pool workers re-import this
+#: module and get a fresh, unshared lock — intended, the observer install is
+#: per-process state.
+_INSTALL_LOCK = threading.Lock()  # crowdlint: disable=CW302 -- per-process install lock; fork-fresh copies are the point
+
 
 def get_observer() -> Observer:
     """The currently active observer (the null observer when disabled)."""
@@ -151,9 +160,10 @@ def get_observer() -> Observer:
 def set_observer(observer: Observer) -> Observer:
     """Install ``observer`` process-wide; returns the previous one."""
     global _active
-    previous = _active
-    _active = observer
-    return previous
+    with _INSTALL_LOCK:
+        previous = _active
+        _active = observer
+        return previous
 
 
 def enable(
@@ -166,15 +176,17 @@ def enable(
     joins the surrounding trace instead of clobbering it).
     """
     global _active
-    if not _active.enabled:
-        _active = Observer(enabled=True, registry=registry, tracer=tracer)
-    return _active
+    with _INSTALL_LOCK:
+        if not _active.enabled:
+            _active = Observer(enabled=True, registry=registry, tracer=tracer)
+        return _active
 
 
 def disable() -> None:
     """Turn observability off process-wide (drops the live observer)."""
     global _active
-    _active = NULL_OBSERVER
+    with _INSTALL_LOCK:
+        _active = NULL_OBSERVER
 
 
 @contextmanager

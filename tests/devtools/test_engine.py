@@ -31,6 +31,8 @@ def test_registry_has_every_rule_pack():
         "CW501", "CW502", "CW503", "CW504", "CW505",
         # CW6xx: interprocedural id-domain / units
         "CW601", "CW602", "CW603", "CW604", "CW605",
+        # CW7xx: thread-safety (whole-program race detection)
+        "CW701", "CW702", "CW703", "CW704", "CW705",
     ]
     for rule_cls in all_rules():
         assert rule_cls.name and rule_cls.description

@@ -1,0 +1,76 @@
+"""Concurrent smoke test: many threads hammering a live ThreadingHTTPServer.
+
+N worker threads alternate between a page route and ``GET /metrics``
+against a real server under scoped observability.  The assertions are the
+runtime contract the static CW7xx pack enforces at lint time:
+
+* no request errors or handler exceptions under concurrency;
+* every worker's successive samples of the request counter are monotonic
+  (counters only ever increase — torn or lost updates would show up as a
+  decrease);
+* after the dust settles, the counter equals exactly the number of page
+  requests issued: no lost increments.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+from repro.obs import observed
+from repro.web import CrowdWebServer
+
+N_WORKERS = 8
+N_ROUNDS = 6
+
+
+def _fetch(url: str):
+    with urllib.request.urlopen(url, timeout=15) as resp:
+        return resp.status, resp.read()
+
+
+def test_concurrent_requests_keep_metrics_consistent(pipeline_result):
+    server = CrowdWebServer(pipeline_result, port=0).start()
+    errors = []
+    samples = {i: [] for i in range(N_WORKERS)}
+
+    def hammer(worker: int) -> None:
+        try:
+            for _ in range(N_ROUNDS):
+                status, _body = _fetch(server.url + "/")
+                assert status == 200
+                status, body = _fetch(server.url + "/metrics")
+                assert status == 200
+                payload = json.loads(body)
+                assert payload["enabled"] is True
+                samples[worker].append(
+                    payload["counters"]["repro_web_requests_total"].get("/", 0)
+                )
+        except Exception as exc:  # noqa: BLE001 - surfaced via the errors list
+            errors.append((worker, repr(exc)))
+
+    try:
+        with observed():
+            _fetch(server.url + "/")  # warm-up: the counter key exists
+            workers = [
+                threading.Thread(target=hammer, args=(i,)) for i in range(N_WORKERS)
+            ]
+            for thread in workers:
+                thread.start()
+            for thread in workers:
+                thread.join(timeout=60)
+            assert not any(thread.is_alive() for thread in workers)
+            _status, body = _fetch(server.url + "/metrics")
+            final = json.loads(body)["counters"]["repro_web_requests_total"]["/"]
+    finally:
+        server.stop()
+
+    assert errors == []
+    for worker, seen in samples.items():
+        assert len(seen) == N_ROUNDS
+        assert seen == sorted(seen), f"counter went backwards for worker {worker}"
+        # Each sample was taken after this worker's own page request landed,
+        # so it must count at least those (plus the warm-up).
+        assert seen[-1] >= N_ROUNDS
+    assert final == N_WORKERS * N_ROUNDS + 1  # every page hit counted once
