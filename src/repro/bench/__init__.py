@@ -23,18 +23,22 @@ from .runner import (
     write_reports,
 )
 from .schema import BENCH_SCHEMA_VERSION, BenchReport, BenchRow
+from .web import BENCH_WEB_FILENAME, build_web_result, run_web_bench
 
 __all__ = [
     "BENCH_MINING_FILENAME",
     "BENCH_OBS_FILENAME",
     "BENCH_PIPELINE_FILENAME",
     "BENCH_SCHEMA_VERSION",
+    "BENCH_WEB_FILENAME",
     "BenchReport",
     "BenchRow",
     "SCALES",
+    "build_web_result",
     "run_interning_bench",
     "run_mining_bench",
     "run_obs_overhead_bench",
     "run_pipeline_bench",
+    "run_web_bench",
     "write_reports",
 ]

@@ -22,6 +22,7 @@ from .runner import (
     run_obs_overhead_bench,
     run_pipeline_bench,
 )
+from .web import BENCH_WEB_FILENAME, run_web_bench
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -42,14 +43,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--obs-overhead", action="store_true",
                         help="also time observability off vs. on and write "
                              f"{BENCH_OBS_FILENAME}")
+    parser.add_argument("--web", action="store_true",
+                        help="run the serving load test only and write "
+                             f"{BENCH_WEB_FILENAME} (in-process server, "
+                             "concurrent keep-alive clients)")
+    parser.add_argument("--clients", type=int, default=4, metavar="N",
+                        help="concurrent keep-alive clients for --web "
+                             "(default 4)")
+    parser.add_argument("--rounds", type=int, default=5, metavar="R",
+                        help="hot-phase sweeps over the schedule per client "
+                             "for --web (default 5)")
     parser.add_argument("--force", action="store_true",
                         help="overwrite existing reports even from a dirty "
                              "working tree (the report records dirty: true)")
     args = parser.parse_args(argv)
 
-    targets = [args.out / BENCH_MINING_FILENAME, args.out / BENCH_PIPELINE_FILENAME]
-    if args.obs_overhead:
-        targets.append(args.out / BENCH_OBS_FILENAME)
+    if args.web:
+        targets = [args.out / BENCH_WEB_FILENAME]
+    else:
+        targets = [args.out / BENCH_MINING_FILENAME,
+                   args.out / BENCH_PIPELINE_FILENAME]
+        if args.obs_overhead:
+            targets.append(args.out / BENCH_OBS_FILENAME)
     _, dirty = _git_state()
     existing = [t for t in targets if t.exists()]
     if dirty and existing and not args.force:
@@ -60,6 +75,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     args.out.mkdir(parents=True, exist_ok=True)
+    if args.web:
+        web = run_web_bench(args.scale, clients=args.clients, rounds=args.rounds)
+        path = web.save(args.out / BENCH_WEB_FILENAME)
+        print(web.summary())
+        print(f"wrote {path}")
+        return 0
     mining = run_mining_bench(args.scale, repeats=args.repeats)
     path = mining.save(args.out / BENCH_MINING_FILENAME)
     print(mining.summary())

@@ -17,6 +17,15 @@ Schema history
   ``bytes_per_sequence`` (deep-walked resident size of the variant's data
   representation per stored sequence).  Both are omitted from the payload
   when absent, so v1/v2 payloads still load unchanged.
+* **v3 (serving rows)** — the web load-test harness (``BENCH_web.json``)
+  uses further optional row fields, same omit-when-absent convention:
+  ``p50_s`` / ``p99_s`` (latency quantiles estimated from the
+  ``repro_web_request_latency_s`` histogram buckets), ``hit_ratio``
+  (cache hits over lookups during the phase), ``bytes_on_wire`` (response
+  body bytes actually transferred), and ``work_units`` (real renders the
+  phase forced — the wall-clock-free basis of the CI gate).  Additive and
+  optional, so the schema number stays 3 and older readers still load
+  every report.
 """
 
 from __future__ import annotations
@@ -50,6 +59,13 @@ class BenchRow:
     databases and the deep-walked size of the resulting representation per
     sequence.  ``None`` (the default) means "not measured" and is omitted
     from the serialized payload.
+
+    The serving rows (``BENCH_web.json``) additionally use ``p50_s`` /
+    ``p99_s`` (request-latency quantiles from the obs histograms),
+    ``hit_ratio`` (cache hits / lookups), ``bytes_on_wire`` (body bytes
+    transferred) and ``work_units`` (real renders forced — the structural
+    hot-vs-cold comparison the CI gate asserts instead of wall clock).
+    All follow the same ``None`` = "not measured" = omitted convention.
     """
 
     name: str
@@ -58,15 +74,24 @@ class BenchRow:
     speedup_vs_serial: float
     peak_tracemalloc_kb: Optional[float] = None
     bytes_per_sequence: Optional[float] = None
+    p50_s: Optional[float] = None
+    p99_s: Optional[float] = None
+    hit_ratio: Optional[float] = None
+    bytes_on_wire: Optional[float] = None
+    work_units: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("a bench row needs a name")
         if self.wall_clock_s < 0 or self.ops_per_sec < 0 or self.speedup_vs_serial < 0:
             raise ValueError("bench measurements must be non-negative")
-        for value in (self.peak_tracemalloc_kb, self.bytes_per_sequence):
+        for value in (self.peak_tracemalloc_kb, self.bytes_per_sequence,
+                      self.p50_s, self.p99_s, self.bytes_on_wire,
+                      self.work_units):
             if value is not None and value < 0:
-                raise ValueError("bench memory measurements must be non-negative")
+                raise ValueError("bench measurements must be non-negative")
+        if self.hit_ratio is not None and not (0.0 <= self.hit_ratio <= 1.0):
+            raise ValueError("hit_ratio must be within [0, 1]")
 
     def to_dict(self) -> Dict:
         payload = {
@@ -79,19 +104,36 @@ class BenchRow:
             payload["peak_tracemalloc_kb"] = round(self.peak_tracemalloc_kb, 2)
         if self.bytes_per_sequence is not None:
             payload["bytes_per_sequence"] = round(self.bytes_per_sequence, 2)
+        if self.p50_s is not None:
+            payload["p50_s"] = round(self.p50_s, 6)
+        if self.p99_s is not None:
+            payload["p99_s"] = round(self.p99_s, 6)
+        if self.hit_ratio is not None:
+            payload["hit_ratio"] = round(self.hit_ratio, 4)
+        if self.bytes_on_wire is not None:
+            payload["bytes_on_wire"] = round(self.bytes_on_wire, 1)
+        if self.work_units is not None:
+            payload["work_units"] = round(self.work_units, 1)
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "BenchRow":
-        peak = payload.get("peak_tracemalloc_kb")
-        per_seq = payload.get("bytes_per_sequence")
+        def opt(key: str) -> Optional[float]:
+            value = payload.get(key)
+            return None if value is None else float(value)
+
         return cls(
             name=str(payload["name"]),
             wall_clock_s=float(payload["wall_clock_s"]),
             ops_per_sec=float(payload["ops_per_sec"]),
             speedup_vs_serial=float(payload["speedup_vs_serial"]),
-            peak_tracemalloc_kb=None if peak is None else float(peak),
-            bytes_per_sequence=None if per_seq is None else float(per_seq),
+            peak_tracemalloc_kb=opt("peak_tracemalloc_kb"),
+            bytes_per_sequence=opt("bytes_per_sequence"),
+            p50_s=opt("p50_s"),
+            p99_s=opt("p99_s"),
+            hit_ratio=opt("hit_ratio"),
+            bytes_on_wire=opt("bytes_on_wire"),
+            work_units=opt("work_units"),
         )
 
 

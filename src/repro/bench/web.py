@@ -1,0 +1,326 @@
+"""The serving load-test harness behind ``python -m repro.bench --web``.
+
+Spins up :class:`~repro.web.server.CrowdWebServer` **in-process** on an
+ephemeral port, drives N concurrent keep-alive clients (plain
+``http.client`` over real sockets) through a mixed request schedule, and
+writes a schema-v3 ``BENCH_web.json`` with one row per serving phase:
+
+``web_cold_uncached``
+    every scheduled path once against an empty cache — each request pays a
+    real render (the baseline row, ``speedup_vs_serial`` = 1.0).
+``web_hot_cached``
+    the same key space hammered by N clients for R rounds — the dict-lookup
+    hot path; its ``work_units`` (real renders) must collapse vs. cold.
+``web_hot_conditional_304``
+    the hot sweep revalidating with ``If-None-Match`` — all 304s, zero
+    renders, (near-)zero ``bytes_on_wire``.
+``web_hot_gzip``
+    the hot sweep negotiating ``Accept-Encoding: gzip`` — pre-compressed
+    bodies, so ``bytes_on_wire`` shrinks with no extra work.
+
+Latency quantiles (``p50_s`` / ``p99_s``) are estimated from the
+``repro_web_request_latency_s`` fixed-bucket histograms that the server
+records per endpoint (each phase runs under its own scoped
+:func:`repro.obs.observed` observer, so phases never blur together);
+``hit_ratio`` and ``work_units`` come from the cache and render counters.
+The CI gate (``scripts/bench_smoke_check.py --web``) asserts only
+**structural** facts — work ratios, row presence, bytes ordering — never
+wall clock, so it cannot flake on slow shared runners.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.client import HTTPConnection, HTTPException
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..data import generate
+from ..experiments import small_pipeline_config
+from ..obs import observed
+from ..pipeline import PipelineResult, run_pipeline
+from ..web import CrowdWebServer
+from .runner import _available_cpus, _config_for, _stamp
+from .schema import BenchReport, BenchRow
+
+__all__ = ["BENCH_WEB_FILENAME", "build_web_result", "run_web_bench"]
+
+BENCH_WEB_FILENAME = "BENCH_web.json"
+
+#: Seconds a client waits on one response before giving up on the run.
+_CLIENT_TIMEOUT_S = 30
+
+
+def build_web_result(scale: str = "smoke") -> PipelineResult:
+    """The pipeline result the harness serves, pinned by the scale's seed."""
+    synth = _config_for(scale)
+    dataset = generate(synth).dataset
+    return run_pipeline(dataset, small_pipeline_config())
+
+
+def _schedule(result: PipelineResult) -> List[str]:
+    """The mixed request schedule: pages, JSON aggregates, tiles, users.
+
+    Deterministic for a given pipeline result, and a superset of what the
+    tiled city page actually fetches, so the hot phase exercises exactly
+    the serving surface users hit.
+    """
+    paths = ["/", "/users", "/api/users", "/api/stats", "/api/crowd",
+             "/api/tiles", "/api/occupancy"]
+    n_windows = len(result.timeline)
+    busiest = sorted(
+        range(n_windows),
+        key=lambda i: (-result.timeline[i].n_users, i),
+    )[: min(4, n_windows)]
+    for window in sorted(busiest):
+        paths.append(f"/api/crowd/{window}")
+        paths.append(f"/city?window={window}")
+        paths.append(f"/api/tiles/0/0/0?window={window}")
+        for x in range(2):
+            for y in range(2):
+                paths.append(f"/api/tiles/1/{x}/{y}?window={window}")
+    for user_id in sorted(result.profiles)[:3]:
+        paths.append(f"/api/user/{user_id}")
+        paths.append(f"/user/{user_id}")
+    return paths
+
+
+class _ClientStats:
+    """What one keep-alive client measured (merged under ``_agg_lock``)."""
+
+    __slots__ = ("requests", "body_bytes", "statuses", "etags", "error")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.body_bytes = 0
+        self.statuses: Dict[int, int] = {}
+        self.etags: Dict[str, str] = {}
+        self.error: Optional[str] = None
+
+
+def _run_client(
+    address: Tuple[str, int],
+    paths: List[str],
+    rounds: int,
+    headers: Dict[str, str],
+    etags: Optional[Dict[str, str]],
+    stats: _ClientStats,
+) -> None:
+    """One keep-alive client: ``rounds`` sweeps over ``paths``.
+
+    ``etags`` (path → ETag), when given, turns the sweep into a
+    revalidation run (``If-None-Match`` per path).  Collected response
+    ETags land in ``stats.etags`` either way.
+    """
+    host, port = address
+    conn = HTTPConnection(host, port, timeout=_CLIENT_TIMEOUT_S)
+    try:
+        for _ in range(rounds):
+            for path in paths:
+                request_headers = dict(headers)
+                if etags is not None and path in etags:
+                    request_headers["If-None-Match"] = etags[path]
+                try:
+                    conn.request("GET", path, headers=request_headers)
+                    response = conn.getresponse()
+                    body = response.read()
+                except (HTTPException, OSError):
+                    # Keep-alive hiccup: one reconnect, then give up loudly.
+                    conn.close()
+                    conn = HTTPConnection(host, port, timeout=_CLIENT_TIMEOUT_S)
+                    conn.request("GET", path, headers=request_headers)
+                    response = conn.getresponse()
+                    body = response.read()
+                stats.requests += 1
+                stats.body_bytes += len(body)
+                stats.statuses[response.status] = (
+                    stats.statuses.get(response.status, 0) + 1
+                )
+                etag = response.getheader("ETag")
+                if etag:
+                    stats.etags[path] = etag
+    except Exception as exc:  # noqa: BLE001 - reported by the main thread
+        stats.error = f"{type(exc).__name__}: {exc}"
+    finally:
+        conn.close()
+
+
+def _drive(
+    address: Tuple[str, int],
+    paths: List[str],
+    n_clients: int,
+    rounds: int,
+    headers: Optional[Dict[str, str]] = None,
+    etags: Optional[Dict[str, str]] = None,
+) -> Tuple[float, List[_ClientStats]]:
+    """Run one phase: ``n_clients`` concurrent sweeps; returns (wall_s, stats)."""
+    all_stats = [_ClientStats() for _ in range(n_clients)]
+    threads = [
+        threading.Thread(
+            target=_run_client,
+            args=(address, paths, rounds, headers or {}, etags, stats),
+            daemon=True,
+        )
+        for stats in all_stats
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - start
+    for stats in all_stats:
+        if stats.error is not None:
+            raise AssertionError(f"web bench client failed: {stats.error}")
+    return wall_s, all_stats
+
+
+def _quantile(histogram_series: Iterable[Dict], q: float) -> Optional[float]:
+    """A quantile estimate from merged fixed-bucket histogram series.
+
+    All series share the registry's default latency buckets, so their
+    per-bin counts add directly; within the target bin the value is
+    linearly interpolated between the bin's bounds (the overflow bin
+    reports the merged ``max``).
+    """
+    buckets: Optional[List[float]] = None
+    counts: Optional[List[int]] = None
+    observed_max = 0.0
+    total = 0
+    for series in histogram_series:
+        if not series:
+            continue
+        if buckets is None:
+            buckets = list(series["buckets"])
+            counts = [0] * len(series["counts"])
+        for i, count in enumerate(series["counts"]):
+            counts[i] += count
+        total += series["count"]
+        if series["max"] is not None:
+            observed_max = max(observed_max, series["max"])
+    if not total or buckets is None or counts is None:
+        return None
+    target = q * total
+    seen = 0
+    for i, count in enumerate(counts):
+        if not count:
+            continue
+        if seen + count >= target:
+            if i >= len(buckets):  # overflow bin
+                return observed_max
+            lower = buckets[i - 1] if i else 0.0
+            upper = buckets[i]
+            fraction = (target - seen) / count
+            return lower + (upper - lower) * fraction
+        seen += count
+    return observed_max
+
+
+def _phase_row(
+    name: str,
+    wall_s: float,
+    all_stats: List[_ClientStats],
+    registry_snapshot: Dict,
+    baseline_s_per_request: Optional[float],
+) -> BenchRow:
+    """Fold one phase's client stats + metrics snapshot into a BenchRow."""
+    n_requests = sum(stats.requests for stats in all_stats)
+    body_bytes = sum(stats.body_bytes for stats in all_stats)
+    counters = registry_snapshot["counters"]
+
+    def counter(metric: str) -> float:
+        return sum(counters.get(metric, {}).values())
+
+    hits = counter("repro_web_cache_hits_total")
+    misses = counter("repro_web_cache_misses_total")
+    lookups = hits + misses
+    latency = registry_snapshot["histograms"].get("repro_web_request_latency_s", {})
+    per_request = wall_s / n_requests if n_requests else 0.0
+    speedup = 1.0
+    if baseline_s_per_request is not None and per_request:
+        speedup = baseline_s_per_request / per_request
+    return BenchRow(
+        name=name,
+        wall_clock_s=wall_s,
+        ops_per_sec=n_requests / wall_s if wall_s else 0.0,
+        speedup_vs_serial=speedup,
+        p50_s=_quantile(latency.values(), 0.50),
+        p99_s=_quantile(latency.values(), 0.99),
+        hit_ratio=hits / lookups if lookups else None,
+        bytes_on_wire=float(body_bytes),
+        work_units=counter("repro_web_renders_total"),
+    )
+
+
+def run_web_bench(
+    scale: str = "smoke",
+    clients: int = 4,
+    rounds: int = 5,
+    git_rev: Optional[str] = None,
+    result: Optional[PipelineResult] = None,
+) -> BenchReport:
+    """The serving load test: cold, hot, conditional, and gzip phases.
+
+    Each phase runs under its own scoped observer, so its latency
+    histograms, cache counters, and render counts are phase-exact.  The
+    server (and its cache) lives across all four phases — that is the
+    point: the cold phase pays every render once, the hot phases reap them.
+    """
+    synth = _config_for(scale)
+    if result is None:
+        result = build_web_result(scale)
+    paths = _schedule(result)
+    server = CrowdWebServer(result, port=0).start()
+    try:
+        address = server.address
+
+        with observed() as o:
+            cold_s, cold_stats = _drive(address, paths, n_clients=1, rounds=1)
+            cold_row = _phase_row(
+                "web_cold_uncached", cold_s, cold_stats,
+                o.registry.snapshot(), baseline_s_per_request=None,
+            )
+        cold_requests = sum(stats.requests for stats in cold_stats)
+        baseline_s_per_request = cold_s / cold_requests if cold_requests else None
+
+        with observed() as o:
+            hot_s, hot_stats = _drive(address, paths, clients, rounds)
+            hot_row = _phase_row(
+                "web_hot_cached", hot_s, hot_stats,
+                o.registry.snapshot(), baseline_s_per_request,
+            )
+        etags: Dict[str, str] = {}
+        for stats in hot_stats:
+            etags.update(stats.etags)
+
+        with observed() as o:
+            cond_s, cond_stats = _drive(
+                address, paths, clients, rounds, etags=etags
+            )
+            cond_row = _phase_row(
+                "web_hot_conditional_304", cond_s, cond_stats,
+                o.registry.snapshot(), baseline_s_per_request,
+            )
+
+        with observed() as o:
+            gzip_s, gzip_stats = _drive(
+                address, paths, clients, rounds,
+                headers={"Accept-Encoding": "gzip"},
+            )
+            gzip_row = _phase_row(
+                "web_hot_gzip", gzip_s, gzip_stats,
+                o.registry.snapshot(), baseline_s_per_request,
+            )
+    finally:
+        server.stop()
+
+    rev, dirty = _stamp(git_rev)
+    return BenchReport(
+        benchmark="web",
+        scale=scale,
+        seed=synth.seed,
+        git_rev=rev,
+        n_cpus=_available_cpus(),
+        rows=(cold_row, hot_row, cond_row, gzip_row),
+        dirty=dirty,
+    )

@@ -3,8 +3,8 @@
 Three invariants, all enforced in CI (the ``docs-check`` job):
 
 1. Every layer declared in :data:`repro.devtools.layers.LAYER_MAP` must be
-   mentioned — as ``repro.<layer>`` — in ``docs/architecture.md`` or
-   ``docs/api.md``.
+   mentioned — as ``repro.<layer>`` — in ``docs/architecture.md``,
+   ``docs/api.md``, or ``docs/serving.md``.
 2. The rule catalog in ``docs/devtools.md`` (between the
    ``crowdlint-catalog`` markers) must be byte-identical to what
    :func:`generate_catalog` renders from the live rule registry.  Adding a
@@ -41,7 +41,7 @@ __all__ = [
 ]
 
 #: Repo-relative documentation files a layer may be covered in.
-DOC_FILES = ("docs/architecture.md", "docs/api.md")
+DOC_FILES = ("docs/architecture.md", "docs/api.md", "docs/serving.md")
 
 #: File holding the generated rule catalog, and the markers delimiting it.
 CATALOG_FILE = "docs/devtools.md"

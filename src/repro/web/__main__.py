@@ -63,14 +63,19 @@ def main(argv=None) -> int:
         dataset = small_dataset()
         config = small_pipeline_config()
     config = replace(config, exec=ExecConfig.from_workers(args.workers))
-    print(f"preparing pipeline on {dataset!r} ...")
-    if args.profiles:
-        result = prepare_from_profiles(dataset, config, args.profiles)
-        print(f"loaded {result.n_users} profiles from {args.profiles}")
-    else:
-        result = run_pipeline(dataset, config)
-    server = CrowdWebServer(result, host=args.host, port=args.port)
-    print(f"CrowdWeb serving {result.n_users} users at {server.url}")
+
+    def build_result():
+        if args.profiles:
+            result = prepare_from_profiles(dataset, config, args.profiles)
+            print(f"loaded {result.n_users} profiles from {args.profiles}")
+            return result
+        return run_pipeline(dataset, config)
+
+    # Bind the socket first: early requests get 503 + Retry-After while the
+    # pipeline precompute runs, and the hot key space is warmed right after.
+    server = CrowdWebServer(host=args.host, port=args.port,
+                            result_factory=build_result, warm=True)
+    print(f"CrowdWeb serving at {server.url} (preparing {dataset!r} ...)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -12,6 +12,7 @@ from ..analysis import user_mobility_metrics
 from ..crowd import build_animation, detect_communities, window_flows
 from ..data import dataset_stats
 from ..pipeline import PipelineResult
+from .tiles import TileIndex
 
 __all__ = ["CrowdWebAPI"]
 
@@ -21,6 +22,7 @@ class CrowdWebAPI:
 
     def __init__(self, result: PipelineResult) -> None:
         self.result = result
+        self.tiles = TileIndex(result.grid, result.timeline)
 
     # --------------------------------------------------------------- users
 
@@ -101,6 +103,18 @@ class CrowdWebAPI:
                 for cell, counts in sorted(matrix.items())
             ],
         }
+
+    # --------------------------------------------------------------- tiles
+
+    def tile(self, z: int, x: int, y: int, window: int = 9) -> Dict:
+        """One city-view tile: aggregated cells at zoom ``z`` (see tiles.py)."""
+        n = len(self.result.timeline)
+        window = max(0, min(window, n - 1))
+        return self.tiles.tile(z, x, y, window)
+
+    def tile_scheme(self) -> Dict:
+        """The tile coordinate scheme (zooms, factors, grid bbox)."""
+        return self.tiles.scheme()
 
     # --------------------------------------------------------- communities
 

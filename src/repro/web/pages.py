@@ -15,8 +15,9 @@ from xml.sax.saxutils import escape
 from ..patterns import build_place_graph, summarize_profile
 from ..pipeline import PipelineResult
 from ..sequences import make_labeler
-from ..viz import HtmlReport, label_color_order, render_place_graph, render_snapshot
+from ..viz import render_place_graph
 from ..viz.palette import SURFACE, TEXT_PRIMARY, TEXT_SECONDARY
+from .tiles import TileIndex
 
 __all__ = ["Pages"]
 
@@ -49,7 +50,6 @@ class Pages:
 
     def __init__(self, result: PipelineResult) -> None:
         self.result = result
-        self._label_order = label_color_order(list(result.timeline))
 
     # ---------------------------------------------------------------- home
 
@@ -110,27 +110,82 @@ class Pages:
 
     # ---------------------------------------------------------------- city
 
-    def city(self, window_index: int = 9) -> str:
+    def city(self, window_index: int = 9, zoom: int = 2) -> str:
+        """The tiled city view: the page ships no cell data of its own.
+
+        The client fetches ``/api/tiles/<z>/<x>/<y>?window=<i>`` for the
+        ``2^z × 2^z`` tiles of the chosen zoom and draws the aggregated
+        cells — each tile response is independently cacheable (ETag/gzip),
+        so scrubbing the time slider re-downloads nothing that was already
+        seen.  The old monolithic-SVG path lives on in ``repro.viz`` for
+        reports; this page is the serving-layer replacement.
+        """
         timeline = self.result.timeline
         window_index = max(0, min(window_index, len(timeline) - 1))
+        max_zoom = TileIndex(self.result.grid, timeline).max_zoom
+        zoom = max(0, min(zoom, max_zoom))
         snap = timeline[window_index]
-        svg = render_snapshot(snap, label_order=self._label_order)
         slider_parts = []
         for i, s in enumerate(timeline):
             active = ' class="active"' if i == window_index else ""
             start = escape(s.window.label.split("-")[0])
-            slider_parts.append(f'<a href="/city?window={i}"{active}>{start}</a>')
+            slider_parts.append(
+                f'<a href="/city?window={i}&amp;zoom={zoom}"{active}>{start}</a>'
+            )
         slider = "".join(slider_parts)
+        zoom_parts = []
+        for z in range(max_zoom + 1):
+            active = ' class="active"' if z == zoom else ""
+            zoom_parts.append(
+                f'<a href="/city?window={window_index}&amp;zoom={z}"{active}>z{z}</a>'
+            )
+        zoom_bar = "".join(zoom_parts)
         groups = snap.groups(min_size=2)
         group_rows = "".join(
             f"<tr><td>{escape(g.label)}</td><td>{g.size}</td>"
             f"<td>{escape(', '.join(g.user_ids[:8]))}</td></tr>"
             for g in groups[:12]
         )
+        config = {"window": window_index, "zoom": zoom}
         body = (
             "<h1>City view</h1>"
             f'<div class="slider">{slider}</div>'
-            f"<figure>{svg}</figure>"
+            f'<div class="slider">{zoom_bar}</div>'
+            '<svg id="citymap" width="760" height="560" '
+            'style="background:#f2f1ed;border-radius:6px"></svg>'
+            '<p id="tilestatus" class="muted"></p>'
+            f"<script>const CFG = {json.dumps(config)};\n"
+            "const svg = document.getElementById('citymap');\n"
+            "const status = document.getElementById('tilestatus');\n"
+            "const n = 1 << CFG.zoom;\n"
+            "const tiles = [];\n"
+            "for (let x = 0; x < n; x++) for (let y = 0; y < n; y++)\n"
+            "  tiles.push(fetch(`/api/tiles/${CFG.zoom}/${x}/${y}?window=${CFG.window}`)\n"
+            "    .then(r => r.json()));\n"
+            "Promise.all([fetch('/api/tiles').then(r => r.json()), ...tiles])\n"
+            ".then(([scheme, ...fetched]) => {\n"
+            "  const [minLat, minLon, maxLat, maxLon] = scheme.bbox;\n"
+            "  const px = lon => 10 + (lon - minLon) / (maxLon - minLon) * 740;\n"
+            "  const py = lat => 10 + (1 - (lat - minLat) / (maxLat - minLat)) * 540;\n"
+            "  let users = 0, shapes = [];\n"
+            "  for (const tile of fetched) {\n"
+            "    users += tile.n_users;\n"
+            "    for (const c of tile.cells) {\n"
+            "      const [blat, blon, tlat, tlon] = c.bbox;\n"
+            "      const w = Math.max(2, px(tlon) - px(blon));\n"
+            "      const h = Math.max(2, py(blat) - py(tlat));\n"
+            "      const alpha = Math.min(0.85, 0.25 + c.count * 0.12);\n"
+            "      shapes.push(`<rect x='${px(blon)}' y='${py(tlat)}' "
+            "width='${w}' height='${h}' fill='#2a78d6' fill-opacity='${alpha}' "
+            "stroke='#fcfcfb'><title>${c.top_label}: ${c.count} users "
+            "(cell ${c.row},${c.col})</title></rect>`);\n"
+            "    }\n"
+            "  }\n"
+            "  svg.innerHTML = shapes.join('');\n"
+            "  status.textContent = `${users} users across ${fetched.length} "
+            "tiles at zoom ${CFG.zoom}`;\n"
+            "});\n"
+            "</script>"
             f"<h2>Groups in window {escape(snap.window.label)}</h2>"
             "<table><tr><th>place</th><th>users</th><th>members</th></tr>"
             f"{group_rows}</table>"

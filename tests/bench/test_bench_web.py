@@ -1,0 +1,150 @@
+"""Tests for the serving load-test harness and its structural CI gate."""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BENCH_WEB_FILENAME, BenchReport, BenchRow, run_web_bench
+from repro.bench.web import _quantile, _schedule
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+ROW_NAMES = (
+    "web_cold_uncached",
+    "web_hot_cached",
+    "web_hot_conditional_304",
+    "web_hot_gzip",
+)
+
+
+@pytest.fixture(scope="module")
+def web_report(pipeline_result):
+    """One real harness run over the session's pipeline result."""
+    return run_web_bench("smoke", clients=2, rounds=2, git_rev="testrev",
+                         result=pipeline_result)
+
+
+class TestHarness:
+    def test_report_shape(self, web_report):
+        assert web_report.benchmark == "web"
+        assert [row.name for row in web_report.rows] == list(ROW_NAMES)
+        for row in web_report.rows:
+            assert row.ops_per_sec > 0
+            assert row.p50_s is not None and row.p99_s is not None
+            assert row.p50_s <= row.p99_s
+            assert row.hit_ratio is not None
+            assert row.bytes_on_wire is not None
+            assert row.work_units is not None
+
+    def test_hot_path_does_no_rendering_work(self, web_report):
+        cold = web_report.row("web_cold_uncached")
+        hot = web_report.row("web_hot_cached")
+        assert cold.work_units > 0
+        assert cold.hit_ratio == 0.0
+        assert hot.work_units == 0
+        assert hot.hit_ratio == 1.0
+
+    def test_304_phase_moves_no_body_bytes(self, web_report):
+        cond = web_report.row("web_hot_conditional_304")
+        assert cond.work_units == 0
+        assert cond.bytes_on_wire == 0
+
+    def test_gzip_phase_shrinks_bytes_on_wire(self, web_report):
+        hot = web_report.row("web_hot_cached")
+        gz = web_report.row("web_hot_gzip")
+        assert gz.work_units == 0
+        assert 0 < gz.bytes_on_wire < hot.bytes_on_wire
+
+    def test_report_round_trips_through_schema(self, web_report, tmp_path):
+        path = web_report.save(tmp_path / BENCH_WEB_FILENAME)
+        loaded = BenchReport.load(path)
+        # to_dict rounds measurements, so compare the serialized forms: a
+        # second trip through the schema must be the identity.
+        assert loaded.to_dict() == web_report.to_dict()
+        assert [row.name for row in loaded.rows] == list(ROW_NAMES)
+        payload = json.loads(path.read_text())
+        hot = next(r for r in payload["rows"] if r["name"] == "web_hot_cached")
+        assert {"p50_s", "p99_s", "hit_ratio", "bytes_on_wire",
+                "work_units"} <= set(hot)
+        # Serving fields stay off non-serving rows' payloads.
+        assert "p50_s" not in BenchRow("x", 1, 1, 1).to_dict()
+
+    def test_schedule_is_deterministic_and_mixed(self, pipeline_result):
+        paths = _schedule(pipeline_result)
+        assert paths == _schedule(pipeline_result)
+        assert len(paths) == len(set(paths))
+        assert any(p.startswith("/api/tiles/") for p in paths)
+        assert any(p.startswith("/city?") for p in paths)
+        assert any(p.startswith("/api/user/") for p in paths)
+
+    def test_smoke_gate_passes_on_real_report(self, web_report, tmp_path):
+        web_report.save(tmp_path / BENCH_WEB_FILENAME)
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "bench_smoke_check.py"),
+             "--web", str(tmp_path)],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "web bench smoke OK" in proc.stdout
+
+    def test_smoke_gate_rejects_a_lazy_hot_path(self, web_report, tmp_path):
+        """A hot phase that re-rendered everything must fail the gate."""
+        spec = importlib.util.spec_from_file_location(
+            "bench_smoke_check", REPO_ROOT / "scripts" / "bench_smoke_check.py"
+        )
+        gate = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(gate)
+        check_web = gate.check_web
+
+        bad_rows = []
+        for row in web_report.rows:
+            if row.name == "web_hot_cached":
+                row = BenchRow(
+                    name=row.name, wall_clock_s=row.wall_clock_s,
+                    ops_per_sec=row.ops_per_sec,
+                    speedup_vs_serial=row.speedup_vs_serial,
+                    p50_s=row.p50_s, p99_s=row.p99_s, hit_ratio=0.0,
+                    bytes_on_wire=row.bytes_on_wire,
+                    work_units=web_report.row("web_cold_uncached").work_units * 4,
+                )
+            bad_rows.append(row)
+        bad = BenchReport(
+            benchmark="web", scale=web_report.scale, seed=web_report.seed,
+            git_rev=web_report.git_rev, n_cpus=web_report.n_cpus, rows=bad_rows,
+        )
+        bad.save(tmp_path / BENCH_WEB_FILENAME)
+        with pytest.raises(AssertionError, match="re-rendered"):
+            check_web(tmp_path)
+
+
+class TestQuantiles:
+    def test_quantile_interpolates_within_buckets(self):
+        series = {
+            "buckets": [0.001, 0.01, 0.1],
+            "counts": [0, 10, 0, 0],
+            "count": 10,
+            "sum": 0.05,
+            "min": 0.002,
+            "max": 0.009,
+        }
+        p50 = _quantile([series], 0.5)
+        assert 0.001 < p50 < 0.01
+
+    def test_quantile_merges_series(self):
+        low = {"buckets": [0.001, 0.01], "counts": [10, 0, 0], "count": 10,
+               "sum": 0.005, "min": 0.0005, "max": 0.0009}
+        high = {"buckets": [0.001, 0.01], "counts": [0, 0, 10], "count": 10,
+                "sum": 5.0, "min": 0.5, "max": 0.5}
+        assert _quantile([low, high], 0.99) == 0.5  # overflow bin: merged max
+        p25 = _quantile([low, high], 0.25)
+        assert p25 <= 0.001
+
+    def test_quantile_of_nothing_is_none(self):
+        assert _quantile([], 0.5) is None
+        assert _quantile([{}], 0.5) is None

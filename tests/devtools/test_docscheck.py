@@ -59,7 +59,9 @@ class TestFailurePaths:
         (tmp_path / "docs").mkdir()
         (tmp_path / DOC_FILES[0]).write_text("repro.geo", encoding="utf-8")
         problems = check_docs(tmp_path, layers=["geo"])
-        assert problems == [f"missing documentation file: {DOC_FILES[1]}"]
+        assert problems == [
+            f"missing documentation file: {rel}" for rel in DOC_FILES[1:]
+        ]
 
     def test_substring_layer_names_do_not_mask_each_other(self, tmp_path):
         # "repro.data" must not satisfy a hypothetical "repro.data_extra".

@@ -6,7 +6,13 @@ import urllib.request
 
 import pytest
 
-from repro.web import CrowdWebAPI, CrowdWebServer, Pages, route_request
+from repro.web import (
+    RETRY_AFTER_S,
+    CrowdWebAPI,
+    CrowdWebServer,
+    Pages,
+    route_request,
+)
 
 
 @pytest.fixture(scope="module")
@@ -33,6 +39,10 @@ class TestRouting:
         ("/api/occupancy", "application/json"),
         ("/api/communities", "application/json"),
         ("/api/communities?min_similarity=0.2", "application/json"),
+        ("/api/tiles", "application/json"),
+        ("/api/tiles/0/0/0", "application/json"),
+        ("/api/tiles/1/1/0?window=9", "application/json"),
+        ("/city?window=3&zoom=1", "text/html; charset=utf-8"),
     ])
     def test_routes_ok(self, handlers, path, content_type):
         status, ctype, body = route_request(*handlers, path)
@@ -59,6 +69,14 @@ class TestRouting:
         status, _, _ = route_request(*handlers, "/api/crowd/banana")
         assert status == 400
         status, _, _ = route_request(*handlers, "/api/crowd/999")
+        assert status == 400
+
+    def test_bad_tile_params_400(self, handlers):
+        status, _, _ = route_request(*handlers, "/api/tiles/9/0/0")
+        assert status == 400  # zoom beyond max_zoom
+        status, _, _ = route_request(*handlers, "/api/tiles/1/5/0")
+        assert status == 400  # x outside [0, 2^z)
+        status, _, _ = route_request(*handlers, "/api/tiles/1/a/0")
         assert status == 400
 
     def test_city_window_clamped(self, handlers):
@@ -118,6 +136,113 @@ class TestConcurrency:
         server.stop()
         # Stopping a stopped server must not hang or raise.
         server._thread = None
+
+
+class TestReadiness:
+    """The bind-before-build contract: 503 + Retry-After while preparing."""
+
+    def test_503_while_precompute_in_flight(self, pipeline_result):
+        import threading
+
+        gate = threading.Event()
+
+        def factory():
+            gate.wait(10)
+            return pipeline_result
+
+        server = CrowdWebServer(port=0, result_factory=factory).start()
+        try:
+            request = urllib.request.Request(server.url + "/api/stats")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == str(RETRY_AFTER_S)
+            payload = json.loads(excinfo.value.read())
+            assert "warming up" in payload["error"]
+
+            gate.set()
+            assert server.wait_ready(timeout=10)
+            with urllib.request.urlopen(server.url + "/api/stats",
+                                        timeout=10) as resp:
+                assert resp.status == 200
+        finally:
+            gate.set()
+            server.stop()
+
+    def test_failed_build_serves_500(self):
+        import threading
+
+        failed = threading.Event()
+
+        def factory():
+            failed.set()
+            raise RuntimeError("synthetic pipeline failure")
+
+        server = CrowdWebServer(port=0, result_factory=factory).start()
+        try:
+            assert failed.wait(10)
+            assert server.wait_ready(timeout=10) is False
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + "/", timeout=10)
+            assert excinfo.value.code == 500
+            assert "synthetic pipeline failure" in json.loads(excinfo.value.read())["error"]
+        finally:
+            server.stop()
+
+    def test_result_and_factory_are_exclusive(self, pipeline_result):
+        with pytest.raises(ValueError):
+            CrowdWebServer(pipeline_result, result_factory=lambda: pipeline_result)
+        with pytest.raises(ValueError):
+            CrowdWebServer()
+
+    def test_warm_precomputes_the_hot_key_space(self, pipeline_result):
+        from repro.web import CrowdWebApp
+
+        app = CrowdWebApp(pipeline_result)
+        warmed = app.warm()
+        assert warmed == len(app.warm_paths())
+        assert len(app.cache) == warmed
+        # A warmed route is a pure cache hit: no further render happens.
+        from repro.obs import observed
+
+        with observed() as o:
+            status, _headers, _body = app.handle("GET", "/api/crowd/9", None)
+            assert status == 200
+            assert o.registry.counter("repro_web_renders_total") == 0
+            assert o.registry.counter("repro_web_cache_hits_total") == 1
+
+
+class TestCacheRoutes:
+    def test_cache_info_route(self, pipeline_result):
+        from repro.web import CrowdWebApp
+
+        app = CrowdWebApp(pipeline_result)
+        app.handle("GET", "/api/users", None)
+        status, _headers, body = app.handle("GET", "/api/cache", None)
+        assert status == 200
+        info = json.loads(body)
+        assert info["entries"] == 1
+        assert info["generation"] == 0
+        assert info["fingerprint"] == app.fingerprint
+
+    def test_metrics_route_is_never_cached(self, pipeline_result):
+        from repro.obs import observed
+        from repro.web import CrowdWebApp
+
+        app = CrowdWebApp(pipeline_result)
+        with observed():
+            app.handle("GET", "/api/users", None)
+            status, headers, body = app.handle("GET", "/metrics", None)
+            assert status == 200
+            assert ("Cache-Control", "no-store") in headers
+            first = json.loads(body)
+            _status, _headers, body = app.handle("GET", "/metrics", None)
+            second = json.loads(body)
+        # The second snapshot saw more requests — not a replay of the first.
+        total = lambda payload: sum(  # noqa: E731
+            payload["counters"]["repro_web_requests_total"].values()
+        )
+        assert total(second) > total(first)
 
 
 class TestSpikesRoute:
