@@ -10,9 +10,10 @@ asserts, at the engine level (no interpreter startup noise):
 2. the warm run rebuilds no module summaries (the whole-program pass is
    served from the summary cache too);
 3. both runs produce identical findings;
-4. the thread-analysis facts ride the cached summaries: a project rebuilt
+4. the whole-program facts ride the cached summaries: a project rebuilt
    warm from the same cache extracts zero summaries and still discovers
-   the tree's thread roots from the cached facts.
+   the tree's thread roots, exception summaries, and resource facts from
+   the cached payloads.
 
 Work done is counted structurally (files re-analyzed, summaries rebuilt),
 never by wall-clock: a loaded CI runner can stall either run arbitrarily,
@@ -34,12 +35,13 @@ MIN_WORK_RATIO = 5.0
 PATHS = [Path("src"), Path("tests")]
 
 
-def _warm_thread_probe(cache: LintCache):
+def _warm_facts_probe(cache: LintCache):
     """Rebuild the whole-program view from the warm cache only.
 
-    Returns ``(summaries_built, missing_thread_facts, thread_roots)`` —
-    the thread facts live inside the module summaries, so a warm rebuild
-    must extract nothing and still see every spawn site.
+    Returns ``(summaries_built, missing_facts, thread_roots, may_raise)`` —
+    the thread, exception, and resource facts all live inside the module
+    summaries, so a warm rebuild must extract nothing and still see every
+    spawn site and a non-trivial may-raise fixpoint.
     """
     files = []
     for file_path in iter_python_files(PATHS):
@@ -49,11 +51,23 @@ def _warm_thread_probe(cache: LintCache):
         )
     project = ProjectAnalysis.build(files, cache=cache)
     missing = [
-        key
+        f"{key}:{fact}"
         for key, summary in project.summaries.items()
-        if not isinstance(summary.get("threads"), dict)
+        for fact in ("threads", "exceptions", "resources")
+        if not isinstance(summary.get(fact), dict)
     ]
-    return project.summaries_built, missing, project.threads().n_roots
+    exceptions = project.exceptions()
+    may_raise = sum(
+        1
+        for module_key in project.summaries
+        for qualname in (
+            project.summaries[module_key].get("exceptions", {})
+            .get("functions", {})
+        )
+        if exceptions.may_raise(module_key, qualname)
+    )
+    project.lifecycle()  # the resource pass must also run clean off the cache
+    return project.summaries_built, missing, project.threads().n_roots, may_raise
 
 
 def main() -> int:
@@ -71,7 +85,9 @@ def main() -> int:
         warm_s = time.perf_counter() - t0
         warm_stats = engine.last_stats
 
-        thread_rebuilds, thread_missing, thread_roots = _warm_thread_probe(cache)
+        facts_rebuilds, facts_missing, thread_roots, may_raise = (
+            _warm_facts_probe(cache)
+        )
 
     ratio = (
         cold_stats.analyzed / warm_stats.analyzed
@@ -89,22 +105,24 @@ def main() -> int:
     )
     print(f"work ratio: {ratio:.1f}x analyzed (timing is informational only)")
     print(
-        f"threads: {thread_roots} roots from cached facts, "
-        f"{thread_rebuilds} summaries rebuilt"
+        f"facts: {thread_roots} thread roots and {may_raise} may-raise "
+        f"functions from cached facts, {facts_rebuilds} summaries rebuilt"
     )
 
     problems = []
-    if thread_rebuilds != 0:
+    if facts_rebuilds != 0:
         problems.append(
-            f"warm thread probe rebuilt {thread_rebuilds} module summaries"
+            f"warm facts probe rebuilt {facts_rebuilds} module summaries"
         )
-    if thread_missing:
+    if facts_missing:
         problems.append(
-            f"{len(thread_missing)} cached summaries lack thread facts "
-            f"(e.g. {thread_missing[0]})"
+            f"{len(facts_missing)} cached summaries lack whole-program facts "
+            f"(e.g. {facts_missing[0]})"
         )
     if thread_roots == 0:
         problems.append("thread analysis found no roots on the real tree")
+    if may_raise == 0:
+        problems.append("exception fixpoint found no may-raise functions")
     if cold_stats.analyzed != cold_stats.files:
         problems.append("cold run did not analyze every file")
     if warm_stats.analyzed != 0:

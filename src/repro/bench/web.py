@@ -270,8 +270,12 @@ def run_web_bench(
     if result is None:
         result = build_web_result(scale)
     paths = _schedule(result)
-    server = CrowdWebServer(result, port=0).start()
+    # Construct before start() inside the try: the constructor binds the
+    # listening socket, so a start() failure must still reach stop() below
+    # or the socket leaks for the rest of the process.
+    server = CrowdWebServer(result, port=0)
     try:
+        server.start()
         address = server.address
 
         with observed() as o:

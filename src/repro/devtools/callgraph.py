@@ -36,6 +36,8 @@ from .domains import (
     FunctionRef,
     extract_summary,
 )
+from .exceptions import ExceptionAnalysis
+from .resources import LifecycleAnalysis
 from .threads import ThreadAnalysis
 
 __all__ = ["CallGraph", "ProjectAnalysis"]
@@ -136,6 +138,8 @@ class ProjectAnalysis:
         self._dead: Dict[str, List[Dict[str, object]]] = {}
         self._dep_keys: Dict[str, str] = {}
         self._thread_analysis: Optional["ThreadAnalysis"] = None
+        self._exception_analysis: Optional["ExceptionAnalysis"] = None
+        self._lifecycle_analysis: Optional["LifecycleAnalysis"] = None
 
     # ------------------------------------------------------------ lifecycle
 
@@ -556,6 +560,8 @@ class ProjectAnalysis:
             "signatures": signatures,
             "dead": sorted(record["name"] for record in self.dead_exports(module_key)),  # type: ignore[misc]
             "threads": self.threads().dep_digest(module_key),
+            "exceptions": self.exceptions().dep_digest(module_key),
+            "lifecycle": self.lifecycle().dep_digest(module_key),
         }
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
@@ -578,6 +584,32 @@ class ProjectAnalysis:
     def thread_records(self, module_key: str) -> List[Dict[str, object]]:
         """CW7xx finding records anchored in ``module_key``."""
         return self.threads().records_for(module_key)
+
+    # ------------------------------------------------------------ exceptions
+
+    def exceptions(self) -> ExceptionAnalysis:
+        """The interprocedural may-raise view, built lazily like threads()."""
+        if self._exception_analysis is None:
+            self._exception_analysis = ExceptionAnalysis(self.summaries, self.resolve)
+        return self._exception_analysis
+
+    def exception_records(self, module_key: str) -> List[Dict[str, object]]:
+        """CW803 finding records anchored in ``module_key``."""
+        return self.exceptions().records_for(module_key)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def lifecycle(self) -> LifecycleAnalysis:
+        """Resource-lifetime + cache-coherence view, built lazily."""
+        if self._lifecycle_analysis is None:
+            self._lifecycle_analysis = LifecycleAnalysis(
+                self.summaries, self.resolve, self.exceptions(), self.threads()
+            )
+        return self._lifecycle_analysis
+
+    def lifecycle_records(self, module_key: str) -> List[Dict[str, object]]:
+        """CW801/802/804/805/806 finding records anchored in ``module_key``."""
+        return self.lifecycle().records_for(module_key)
 
 
 def _ref_key(ref: FunctionRef) -> str:

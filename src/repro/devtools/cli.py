@@ -119,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print discovered thread roots and shared state instead of linting",
     )
     parser.add_argument(
+        "--raises",
+        metavar="SYMBOL",
+        help="print the inferred exception-propagation chain for one "
+             "function (module:qualname) instead of linting",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list the available rules and exit",
@@ -199,6 +205,27 @@ def _print_threads(paths: List[Path]) -> int:
         )
     print(ProjectAnalysis.build(files).threads().render())
     return 0
+
+
+def _print_raises(paths: List[Path], symbol: str) -> int:
+    """``--raises``: one function's inferred may-raise propagation chain."""
+    from .callgraph import ProjectAnalysis  # deferred: lint runs may skip it
+
+    files = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            print(f"crowdweb-lint: unreadable file {file_path}: {exc}", file=sys.stderr)
+            return 2
+        files.append(
+            (str(file_path), source, module_name_for(file_path),
+             file_path.name == "__init__.py")
+        )
+    analysis = ProjectAnalysis.build(files).exceptions()
+    rendered = analysis.render_chain(symbol)
+    print(rendered)
+    return 2 if rendered.startswith("--raises: unknown symbol") else 0
 
 
 def _run_fix(engine: LintEngine, paths: List[Path], diff_only: bool) -> int:
@@ -282,6 +309,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.threads:
         return _print_threads(paths)
+
+    if args.raises:
+        return _print_raises(paths, args.raises)
 
     if args.update_baseline and args.baseline is None:
         print("crowdweb-lint: --update-baseline requires --baseline FILE", file=sys.stderr)

@@ -51,7 +51,9 @@ import ast
 import json
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .exceptions import extract_exception_facts
 from .layers import resolve_import
+from .resources import extract_resource_facts
 from .threads import extract_thread_facts
 
 __all__ = [
@@ -77,7 +79,7 @@ FAMILIES = ("axis", "unit", "id", "dt")
 CONFLICT = "<conflict>"
 
 #: Bumped when the summary JSON schema changes; part of the summary cache key.
-SUMMARY_FORMAT = "2"
+SUMMARY_FORMAT = "3"
 
 
 # ---------------------------------------------------------------------------
@@ -309,9 +311,12 @@ def extract_summary(
     }
     extractor = _SummaryExtractor(summary, module, is_init)
     extractor.run(tree)
-    # Thread facts ride inside the summary so they share its content-
-    # addressed cache entry and ship to --jobs workers for free.
+    # Thread, exception, and resource facts ride inside the summary so they
+    # share its content-addressed cache entry and ship to --jobs workers
+    # for free.
     summary["threads"] = extract_thread_facts(tree)
+    summary["exceptions"] = extract_exception_facts(tree)
+    summary["resources"] = extract_resource_facts(tree)
     return summary
 
 

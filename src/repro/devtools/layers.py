@@ -47,6 +47,7 @@ DEVTOOLS_MODULES: FrozenSet[str] = frozenset(
         "docscheck",
         "domains",
         "engine",
+        "exceptions",
         "fix",
         "flow",
         "layers",
@@ -61,11 +62,13 @@ DEVTOOLS_MODULES: FrozenSet[str] = frozenset(
         "rules.exports",
         "rules.iddomains",
         "rules.imports",
+        "rules.lifecycle",
         "rules.mutable_defaults",
         "rules.observability",
         "rules.perf",
         "rules.threadsafety",
         "rules.units",
+        "resources",
         "sarif",
         "threads",
     }

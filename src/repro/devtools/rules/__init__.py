@@ -13,6 +13,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     exports,
     iddomains,
     imports,
+    lifecycle,
     mutable_defaults,
     observability,
     perf,

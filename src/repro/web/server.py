@@ -440,7 +440,16 @@ class CrowdWebServer:
             def _serve(self, method: str) -> None:
                 app = owner._app
                 if app is None:
-                    self._respond(*owner._unready_response())
+                    # Not ready (warming up, or the build failed): drain any
+                    # request body so a keep-alive client that already sent
+                    # one is not left mid-stream, tell it to reconnect later
+                    # with Connection: close, and actually close our side.
+                    self._drain_body()
+                    status, headers, body = owner._unready_response()
+                    self._respond(status, headers + [("Connection", "close")], body)
+                    # Each connection gets its own Handler instance, so this
+                    # flag is never shared across request threads.
+                    self.close_connection = True  # crowdlint: disable=CW701 -- per-connection instance state
                     return
                 try:
                     status, headers, body = app.handle(method, self.path, self.headers)
@@ -452,6 +461,14 @@ class CrowdWebServer:
                         500, [("Content-Type", "application/json")], payload
                     )
                 self._respond(status, headers, body)
+
+            def _drain_body(self) -> None:
+                try:
+                    length = int(self.headers.get("Content-Length") or 0)
+                except ValueError:
+                    length = 0
+                if length > 0:
+                    self.rfile.read(length)
 
             def _respond(self, status: int, headers: HeaderList, body: bytes) -> None:
                 self.send_response(status)

@@ -33,6 +33,8 @@ def test_registry_has_every_rule_pack():
         "CW601", "CW602", "CW603", "CW604", "CW605",
         # CW7xx: thread-safety (whole-program race detection)
         "CW701", "CW702", "CW703", "CW704", "CW705",
+        # CW8xx: exception-flow / resource-lifetime / cache-coherence
+        "CW801", "CW802", "CW803", "CW804", "CW805", "CW806",
     ]
     for rule_cls in all_rules():
         assert rule_cls.name and rule_cls.description
